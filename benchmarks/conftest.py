@@ -1,0 +1,34 @@
+"""Shared helpers for the figure/table regeneration benchmarks.
+
+Every file here regenerates one experiment of the paper (see
+DESIGN.md §4 for the index).  Conventions:
+
+* each benchmark uses ``benchmark.pedantic(..., rounds=1)`` — a figure
+  regeneration is a full parameter sweep, not a microbenchmark;
+* the regenerated series text is written to ``benchmarks/results/`` so
+  ``EXPERIMENTS.md`` claims can be re-checked after any run;
+* assertions check the paper's *shape* (who wins, monotonicity),
+  never absolute numbers.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def record_figure():
+    """Writer: persist a regenerated figure's text under results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+
+    def _write(name: str, text: str) -> None:
+        path = os.path.join(RESULTS_DIR, f"{name}.txt")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _write

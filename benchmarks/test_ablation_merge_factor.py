@@ -1,0 +1,79 @@
+"""Ablation — the conditional tree merging factor (Theorem 2, §3.2).
+
+The paper proves 2/3 is the *optimal* (smallest safe) merge factor.
+This ablation runs PrunedDP with the factor disabled, at 1.0, and at
+the paper's 2/3, asserting (a) all variants stay exact — the theorem's
+"without loss of optimality" — and (b) the 2/3 gate explores no more
+states than the weaker gates, i.e. the pruning actually helps.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workloads import make_workload
+from repro.core.algorithms import PrunedDPSolver
+
+
+class PrunedDPNoMergeGate(PrunedDPSolver):
+    algorithm_name = "PrunedDP[no-merge-gate]"
+    merge_factor = None
+
+
+class PrunedDPFullMergeGate(PrunedDPSolver):
+    algorithm_name = "PrunedDP[factor=1.0]"
+    merge_factor = 1.0
+
+
+class PrunedDPNoHalfPrune(PrunedDPSolver):
+    algorithm_name = "PrunedDP[no-half-prune]"
+    prune_half = False
+    complement_shortcut = False
+    merge_factor = None
+
+
+VARIANTS = [
+    PrunedDPNoHalfPrune,
+    PrunedDPNoMergeGate,
+    PrunedDPFullMergeGate,
+    PrunedDPSolver,  # the paper's configuration
+]
+
+
+def run_ablation():
+    graph, queries = make_workload(
+        "dblp", scale="small", knum=5, kwf=8, num_queries=2, seed=23
+    )
+    rows = {}
+    for variant in VARIANTS:
+        weights, states = [], []
+        for labels in queries:
+            result = variant(graph, labels).solve()
+            assert result.optimal
+            weights.append(result.weight)
+            states.append(result.stats.states_popped)
+        rows[variant.algorithm_name] = (weights, sum(states) / len(states))
+    return rows
+
+
+def test_ablation_merge_factor(benchmark, record_figure):
+    rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+
+    lines = ["== ablation: Theorem 1/2 pruning knobs (states popped) =="]
+    for name, (_, states) in rows.items():
+        lines.append(f"{name:28s} {states:10.0f}")
+    record_figure("ablation_merge_factor", "\n".join(lines))
+
+    # (a) every variant returns identical optimal weights.
+    reference = rows["PrunedDP"][0]
+    for name, (weights, _) in rows.items():
+        assert weights == pytest.approx(reference), name
+
+    # (b) tighter gates explore no more states.
+    assert rows["PrunedDP"][1] <= rows["PrunedDP[factor=1.0]"][1] + 1e-9
+    assert (
+        rows["PrunedDP[factor=1.0]"][1]
+        <= rows["PrunedDP[no-half-prune]"][1] + 1e-9
+    )
+    # The full PrunedDP configuration beats the unpruned variant clearly.
+    assert rows["PrunedDP"][1] < rows["PrunedDP[no-half-prune]"][1]

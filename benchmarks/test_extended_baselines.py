@@ -1,0 +1,49 @@
+"""Extended baseline comparison (beyond the paper's Table 2/3).
+
+Positions every algorithm in the package on one workload:
+the five exact solvers plus the three heuristics, reporting answer
+quality (ratio to the optimum) against explored work.  Asserts the
+expected Pareto structure:
+
+* all exact solvers return the same weight; the heuristics never beat it;
+* heuristic cost ordering: DistanceNetwork (one scan) < BANKS variants;
+* exact-solver work ordering: PrunedDP++ <= PrunedDP+ <= PrunedDP <= Basic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import figures
+from repro.bench.runner import ALL_ALGORITHMS
+
+
+def regenerate():
+    fig = figures.table_all_algorithms(
+        "dblp", scale="small", knum=5, kwf=8, num_queries=2, seed=42
+    )
+    return fig
+
+
+def test_extended_baseline_comparison(benchmark, record_figure):
+    fig = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    suite = fig.suites[("all",)]
+    optimum = suite.mean_weight("DPBF")
+    record_figure("extended_baselines", fig.text)
+
+    # Exact solvers agree.
+    for algorithm in ("Basic", "PrunedDP", "PrunedDP+", "PrunedDP++"):
+        assert suite.mean_weight(algorithm) == pytest.approx(optimum)
+        assert suite.all_optimal(algorithm)
+    # Heuristics are feasible but never better than the optimum.
+    for algorithm in ("BANKS-I", "BANKS-II", "BLINKS", "DistanceNetwork"):
+        assert suite.mean_weight(algorithm) >= optimum - 1e-9
+        assert not suite.all_optimal(algorithm)
+    # Work orderings.
+    assert suite.mean_states("PrunedDP++") <= suite.mean_states("PrunedDP+")
+    assert suite.mean_states("PrunedDP+") <= suite.mean_states("PrunedDP")
+    assert suite.mean_states("PrunedDP") <= suite.mean_states("Basic")
+    assert (
+        suite.mean_total_seconds("DistanceNetwork")
+        <= suite.mean_total_seconds("BANKS-II")
+    )

@@ -1,0 +1,45 @@
+"""Figure 4 — query time vs approximation ratio, varying knum, DBLP.
+
+Paper claim: the processing-time ordering at ratio 1 is
+Basic > PrunedDP > PrunedDP+ > PrunedDP++, with PrunedDP++ more than
+two orders of magnitude faster than Basic at knum=6+.  On the scaled
+dataset we assert the ordering on popped-state counts (the robust,
+machine-independent proxy the times are proportional to).
+"""
+
+from __future__ import annotations
+
+from repro.bench import figures
+from repro.bench.runner import RATIO_CHECKPOINTS
+
+KNUMS = (4, 5)
+NUM_QUERIES = 2
+
+
+def regenerate():
+    return figures.figure_time_vs_ratio_knum(
+        "dblp", scale="small", knums=KNUMS, num_queries=NUM_QUERIES, seed=4
+    )
+
+
+def test_fig04_time_vs_ratio_knum_dblp(benchmark, record_figure):
+    fig = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    record_figure("fig04_time_knum_dblp", fig.text)
+
+    for knum in KNUMS:
+        suite = fig.suites[(knum,)]
+        # Exactness everywhere.
+        for algorithm in suite.algorithms():
+            assert suite.all_optimal(algorithm)
+        # Paper's ordering on explored states.
+        assert suite.mean_states("PrunedDP") <= suite.mean_states("Basic")
+        assert suite.mean_states("PrunedDP+") <= suite.mean_states("PrunedDP")
+        assert suite.mean_states("PrunedDP++") <= suite.mean_states("PrunedDP+")
+        # The pruned algorithms are dramatically smaller, not marginally.
+        assert suite.mean_states("PrunedDP++") < 0.5 * suite.mean_states("Basic")
+        # Time-to-ratio curves are monotone along the checkpoints.
+        for algorithm in suite.algorithms():
+            times = [
+                suite.mean_time_to_ratio(algorithm, t) for t in RATIO_CHECKPOINTS
+            ]
+            assert times == sorted(times)

@@ -1,0 +1,38 @@
+"""Figure 5 — query time vs approximation ratio, varying knum, IMDB.
+
+Same experiment as Figure 4 on the movie/person graph; the paper finds
+"the results on these two datasets are very similar", which is exactly
+what the assertions re-check here.
+"""
+
+from __future__ import annotations
+
+from repro.bench import figures
+
+KNUMS = (4, 5)
+NUM_QUERIES = 2
+
+
+def regenerate():
+    return figures.figure_time_vs_ratio_knum(
+        "imdb", scale="small", knums=KNUMS, num_queries=NUM_QUERIES, seed=5
+    )
+
+
+def test_fig05_time_vs_ratio_knum_imdb(benchmark, record_figure):
+    fig = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    record_figure("fig05_time_knum_imdb", fig.text)
+
+    for knum in KNUMS:
+        suite = fig.suites[(knum,)]
+        for algorithm in suite.algorithms():
+            assert suite.all_optimal(algorithm)
+        assert suite.mean_states("PrunedDP") <= suite.mean_states("Basic")
+        assert suite.mean_states("PrunedDP++") <= suite.mean_states("PrunedDP+")
+        assert suite.mean_states("PrunedDP++") < 0.5 * suite.mean_states("Basic")
+
+    # Paper: processing effort grows with knum for the unpruned baseline.
+    assert (
+        fig.suites[(KNUMS[-1],)].mean_states("Basic")
+        >= fig.suites[(KNUMS[0],)].mean_states("Basic")
+    )

@@ -1,0 +1,47 @@
+"""Figure 6 — query time vs ratio, varying label frequency (kwf), DBLP.
+
+Paper claims reproduced here:
+* Basic / PrunedDP get *cheaper* as kwf grows (smaller optimal trees);
+* PrunedDP++ is largely insensitive to kwf;
+* the PrunedDP+ vs PrunedDP++ gap narrows as kwf grows (the one-label
+  bound tightens when groups are everywhere).
+"""
+
+from __future__ import annotations
+
+from repro.bench import figures
+from repro.bench.datasets import KWF_VALUES
+
+KNUM = 4
+NUM_QUERIES = 2
+
+
+def regenerate():
+    return figures.figure_time_vs_ratio_kwf(
+        "dblp", scale="small", knum=KNUM, kwfs=KWF_VALUES,
+        num_queries=NUM_QUERIES, seed=6,
+    )
+
+
+def test_fig06_time_vs_ratio_kwf_dblp(benchmark, record_figure):
+    fig = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    record_figure("fig06_time_kwf_dblp", fig.text)
+
+    for kwf in KWF_VALUES:
+        suite = fig.suites[(kwf,)]
+        for algorithm in suite.algorithms():
+            assert suite.all_optimal(algorithm)
+        assert suite.mean_states("PrunedDP++") <= suite.mean_states("Basic")
+
+    # Basic's exploration shrinks as labels get more frequent
+    # (compare the sweep's endpoints).
+    lo, hi = KWF_VALUES[0], KWF_VALUES[-1]
+    assert (
+        fig.suites[(hi,)].mean_states("Basic")
+        <= fig.suites[(lo,)].mean_states("Basic")
+    )
+
+    # PrunedDP++ stays within a modest band across the whole sweep
+    # (paper: "not largely influenced by kwf").
+    pp_states = [fig.suites[(kwf,)].mean_states("PrunedDP++") for kwf in KWF_VALUES]
+    assert max(pp_states) <= 25 * max(1.0, min(pp_states))

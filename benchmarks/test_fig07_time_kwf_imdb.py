@@ -1,0 +1,29 @@
+"""Figure 7 — query time vs ratio, varying label frequency (kwf), IMDB."""
+
+from __future__ import annotations
+
+from repro.bench import figures
+from repro.bench.datasets import KWF_VALUES
+
+KNUM = 4
+NUM_QUERIES = 2
+
+
+def regenerate():
+    return figures.figure_time_vs_ratio_kwf(
+        "imdb", scale="small", knum=KNUM, kwfs=KWF_VALUES,
+        num_queries=NUM_QUERIES, seed=7,
+    )
+
+
+def test_fig07_time_vs_ratio_kwf_imdb(benchmark, record_figure):
+    fig = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    record_figure("fig07_time_kwf_imdb", fig.text)
+
+    for kwf in KWF_VALUES:
+        suite = fig.suites[(kwf,)]
+        for algorithm in suite.algorithms():
+            assert suite.all_optimal(algorithm)
+        # The full ordering of the paper.
+        assert suite.mean_states("PrunedDP") <= suite.mean_states("Basic")
+        assert suite.mean_states("PrunedDP++") <= suite.mean_states("Basic")

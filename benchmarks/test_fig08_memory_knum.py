@@ -1,0 +1,48 @@
+"""Figure 8 — memory vs approximation ratio, varying knum, DBLP.
+
+Paper: "the curves for memory consumption ... are very similar to those
+for query processing time ... because both the memory and time overhead
+for each algorithm are roughly proportional to the number of states
+generated", and PrunedDP++ is the most memory-efficient by a wide
+margin.  We assert the per-algorithm peak-byte ordering.
+"""
+
+from __future__ import annotations
+
+from repro.bench import figures
+
+KNUMS = (4, 5)
+
+
+def regenerate():
+    return figures.figure_memory_vs_ratio_knum(
+        "dblp", scale="small", knums=KNUMS, num_queries=2, seed=8
+    )
+
+
+def test_fig08_memory_vs_ratio_knum(benchmark, record_figure):
+    fig = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    record_figure("fig08_memory_knum_dblp", fig.text)
+
+    for knum in KNUMS:
+        peak = {
+            algorithm: fig.series[(knum, algorithm)][0]
+            for algorithm in ("Basic", "PrunedDP", "PrunedDP+", "PrunedDP++")
+        }
+        states = {
+            algorithm: fig.series[(knum, algorithm)][1]
+            for algorithm in peak
+        }
+        # Memory ordering mirrors the state-count ordering.
+        assert peak["PrunedDP"] <= peak["Basic"]
+        assert states["PrunedDP+"] <= states["PrunedDP"]
+        assert states["PrunedDP++"] <= states["PrunedDP+"]
+        # PrunedDP++ uses a fraction of Basic's live state memory even
+        # after paying for its 2^k route tables.
+        assert peak["PrunedDP++"] < peak["Basic"]
+
+    # Memory grows with knum for the DP algorithms (2^k state space).
+    assert (
+        fig.series[(KNUMS[-1], "Basic")][0]
+        >= fig.series[(KNUMS[0], "Basic")][0]
+    )

@@ -1,0 +1,25 @@
+"""Figure 9 — memory vs approximation ratio, varying kwf, DBLP."""
+
+from __future__ import annotations
+
+from repro.bench import figures
+from repro.bench.datasets import KWF_VALUES
+
+
+def regenerate():
+    return figures.figure_memory_vs_ratio_kwf(
+        "dblp", scale="small", knum=4, kwfs=KWF_VALUES, num_queries=2, seed=9
+    )
+
+
+def test_fig09_memory_vs_ratio_kwf(benchmark, record_figure):
+    fig = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    record_figure("fig09_memory_kwf_dblp", fig.text)
+
+    for kwf in KWF_VALUES:
+        peak = {
+            algorithm: fig.series[(kwf, algorithm)][0]
+            for algorithm in ("Basic", "PrunedDP", "PrunedDP+", "PrunedDP++")
+        }
+        assert peak["PrunedDP"] <= peak["Basic"]
+        assert peak["PrunedDP++"] <= peak["Basic"]

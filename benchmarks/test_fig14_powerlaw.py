@@ -1,0 +1,33 @@
+"""Figure 14 — varying knum on LiveJournal (power-law topology).
+
+Paper: on the power-law graph PrunedDP++ wins by orders of magnitude
+and the tour-based bounds clearly beat the one-label bound ("the
+one-label based lower bound is typically much smaller than the
+tour-based lower bound" on power-law graphs).
+"""
+
+from __future__ import annotations
+
+from repro.bench import figures
+
+KNUMS = (4, 5)
+
+
+def regenerate():
+    return figures.figure_time_vs_ratio_knum(
+        "livejournal", scale="small", knums=KNUMS, num_queries=2, seed=14
+    )
+
+
+def test_fig14_powerlaw(benchmark, record_figure):
+    fig = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    record_figure("fig14_powerlaw", fig.text)
+
+    for knum in KNUMS:
+        suite = fig.suites[(knum,)]
+        for algorithm in suite.algorithms():
+            assert suite.all_optimal(algorithm)
+        assert suite.mean_states("PrunedDP") <= suite.mean_states("Basic")
+        assert suite.mean_states("PrunedDP++") <= suite.mean_states("PrunedDP+")
+        # Order-of-magnitude style win for the pruned A* algorithms.
+        assert suite.mean_states("PrunedDP++") < 0.4 * suite.mean_states("Basic")

@@ -1,0 +1,54 @@
+"""Table 2 — comparison with BANKS-II on DBLP.
+
+Paper columns: BANKS-II total time and approximation ratio; PrunedDP++
+total time; and T_r, the time PrunedDP++ needs to emit an answer at
+least as good as BANKS-II's.  Claims re-checked: PrunedDP++ is exact
+(ratio exactly 1 by construction), BANKS-II's ratio is >= 1, and
+T_r <= the full PrunedDP++ solve time (in the paper T_r also
+undercuts BANKS-II's own time — asserted on explored work below).
+"""
+
+from __future__ import annotations
+
+from repro.bench import figures
+from repro.bench.workloads import make_workload
+from repro.baselines import Banks2Solver
+from repro.core import PrunedDPPlusPlusSolver
+
+CONFIGURATIONS = ((4, 8), (5, 8), (4, 4), (4, 16))
+
+
+def regenerate():
+    return figures.table_banks_comparison(
+        "dblp", scale="small", configurations=CONFIGURATIONS,
+        num_queries=2, seed=2,
+    )
+
+
+def test_table2_banks_dblp(benchmark, record_figure):
+    table = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    record_figure("table2_banks_dblp", table.text)
+
+    for config in CONFIGURATIONS:
+        banks_time, banks_ratio, pp_time, tr = table.series[config]
+        assert banks_ratio >= 1.0 - 1e-9
+        assert tr <= pp_time + 1e-9
+
+
+def test_table2_exploration_contrast(benchmark):
+    """BANKS-II settles ~k·n node/group pairs; PrunedDP++ visits far
+    fewer states (the paper's explanation of the speedup)."""
+
+    def run():
+        graph, queries = make_workload(
+            "dblp", scale="small", knum=5, kwf=8, num_queries=1, seed=2
+        )
+        labels = list(queries)[0]
+        banks = Banks2Solver(graph, labels).solve()
+        pp = PrunedDPPlusPlusSolver(graph, labels).solve()
+        return graph, banks, pp
+
+    graph, banks, pp = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert banks.stats.states_popped >= graph.num_nodes
+    assert pp.stats.states_popped < banks.stats.states_popped
+    assert pp.weight <= banks.weight + 1e-9

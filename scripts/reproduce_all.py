@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Regenerate every paper experiment in one run, outside pytest.
+
+Writes each figure/table's text plus a machine-readable JSON record to
+an output directory.  The pytest benchmarks (``pytest benchmarks/
+--benchmark-only``) remain the asserted regression form; this script is
+the human-driven form with scale control:
+
+    python scripts/reproduce_all.py --scale tiny --out results/
+    python scripts/reproduce_all.py --scale small          # the default
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.bench import figures
+from repro.bench.reporting import environment_record
+
+
+def experiments(scale: str):
+    """Yield (name, thunk) for every regenerable experiment."""
+    yield "fig04_time_knum_dblp", lambda: figures.figure_time_vs_ratio_knum(
+        "dblp", scale=scale
+    )
+    yield "fig05_time_knum_imdb", lambda: figures.figure_time_vs_ratio_knum(
+        "imdb", scale=scale
+    )
+    yield "fig06_time_kwf_dblp", lambda: figures.figure_time_vs_ratio_kwf(
+        "dblp", scale=scale
+    )
+    yield "fig07_time_kwf_imdb", lambda: figures.figure_time_vs_ratio_kwf(
+        "imdb", scale=scale
+    )
+    yield "fig08_memory_knum_dblp", lambda: figures.figure_memory_vs_ratio_knum(
+        "dblp", scale=scale
+    )
+    yield "fig09_memory_kwf_dblp", lambda: figures.figure_memory_vs_ratio_kwf(
+        "dblp", scale=scale
+    )
+    yield "fig10_progressive_dblp", lambda: figures.figure_progressive_bounds(
+        "dblp", scale=scale
+    )
+    yield "fig10_progressive_imdb", lambda: figures.figure_progressive_bounds(
+        "imdb", scale=scale
+    )
+    yield "fig14_powerlaw", lambda: figures.figure_time_vs_ratio_knum(
+        "livejournal", scale=scale
+    )
+    yield "fig15_road", lambda: figures.figure_time_vs_ratio_knum(
+        "roadusa", scale=scale
+    )
+    yield "fig16_large_knum", lambda: figures.figure_large_knum(
+        "dblp", scale=scale
+    )
+    yield "table2_banks_dblp", lambda: figures.table_banks_comparison(
+        "dblp", scale=scale
+    )
+    yield "table3_banks_imdb", lambda: figures.table_banks_comparison(
+        "imdb", scale=scale
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="small",
+                        choices=["tiny", "small", "medium"])
+    parser.add_argument("--out", default="reproduction-results")
+    parser.add_argument("--only", default=None,
+                        help="substring filter on experiment names")
+    args = parser.parse_args(argv)
+
+    os.makedirs(args.out, exist_ok=True)
+    manifest = {"environment": environment_record(), "scale": args.scale,
+                "experiments": {}}
+    total_start = time.perf_counter()
+    for name, thunk in experiments(args.scale):
+        if args.only and args.only not in name:
+            continue
+        print(f"[{name}] running...", flush=True)
+        started = time.perf_counter()
+        result = thunk()
+        elapsed = time.perf_counter() - started
+        path = os.path.join(args.out, f"{name}.txt")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(result.text + "\n")
+        manifest["experiments"][name] = {
+            "seconds": round(elapsed, 3),
+            "output": path,
+        }
+        print(f"[{name}] done in {elapsed:.1f}s -> {path}", flush=True)
+    manifest["total_seconds"] = round(time.perf_counter() - total_start, 3)
+    manifest_path = os.path.join(args.out, "manifest.json")
+    with open(manifest_path, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+    print(f"\nmanifest: {manifest_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

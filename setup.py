@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+``pip install -e .`` on modern pip uses PEP 660, which needs the
+``wheel`` package; in fully offline environments without it, install
+with ``python setup.py develop`` (or add ``src/`` to a ``.pth`` file).
+All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

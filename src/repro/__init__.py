@@ -1,0 +1,69 @@
+"""repro — Efficient and Progressive Group Steiner Tree Search.
+
+A complete, pure-Python reproduction of Li, Qin, Yu & Mao,
+*"Efficient and Progressive Group Steiner Tree Search"*, SIGMOD 2016:
+the Basic / PrunedDP / PrunedDP+ / PrunedDP++ progressive algorithms,
+the DPBF prior state of the art, the BANKS approximation baselines, and
+the keyword-search and team-formation applications the paper motivates.
+
+Quickstart::
+
+    from repro import Graph, solve_gst
+
+    g = Graph()
+    a = g.add_node(labels=["database"])
+    b = g.add_node(labels=["graphs"])
+    c = g.add_node()
+    g.add_edge(a, c, 1.0)
+    g.add_edge(c, b, 2.0)
+
+    result = solve_gst(g, ["database", "graphs"])
+    print(result.weight, result.optimal)   # 3.0 True
+"""
+
+from .errors import (
+    ReproError,
+    GraphError,
+    QueryError,
+    InfeasibleQueryError,
+    LimitExceededError,
+)
+from .graph import Graph
+from .core import (
+    GSTQuery,
+    SteinerTree,
+    GSTResult,
+    ProgressPoint,
+    BasicSolver,
+    PrunedDPSolver,
+    PrunedDPPlusSolver,
+    PrunedDPPlusPlusSolver,
+    DPBFSolver,
+    solve_gst,
+    top_r_trees,
+    exact_top_r_trees,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "GSTQuery",
+    "SteinerTree",
+    "GSTResult",
+    "ProgressPoint",
+    "BasicSolver",
+    "PrunedDPSolver",
+    "PrunedDPPlusSolver",
+    "PrunedDPPlusPlusSolver",
+    "DPBFSolver",
+    "solve_gst",
+    "top_r_trees",
+    "exact_top_r_trees",
+    "ReproError",
+    "GraphError",
+    "QueryError",
+    "InfeasibleQueryError",
+    "LimitExceededError",
+    "__version__",
+]

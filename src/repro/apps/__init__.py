@@ -1,0 +1,16 @@
+"""Applications the paper motivates: keyword search and team formation."""
+
+from .relational import Database, Relation, Row, tokenize
+from .keyword_search import KeywordAnswer, KeywordSearchEngine
+from .team_formation import ExpertNetwork, Team
+
+__all__ = [
+    "Database",
+    "Relation",
+    "Row",
+    "tokenize",
+    "KeywordAnswer",
+    "KeywordSearchEngine",
+    "ExpertNetwork",
+    "Team",
+]

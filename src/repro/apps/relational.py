@@ -1,0 +1,184 @@
+"""A miniature relational database modelled as a tuple graph.
+
+The paper's first motivating application (Section 1): "a relational
+database can be modeled as a graph, where each node denotes a tuple and
+each edge represents a foreign key reference between two tuples.  Each
+edge is associated with a weight, representing the strength of the
+relationship".  Keyword search then reduces to GST over that graph.
+
+:class:`Database` holds relations of typed tuples; :meth:`Database.to_graph`
+produces the tuple graph with
+
+* one node per tuple, labelled with the tuple's searchable keywords
+  (lower-cased tokens of its text attributes, plus ``<relation>``
+  markers),
+* one edge per foreign-key reference, weighted by the reference's
+  declared strength (default 1.0).
+
+This is a deliberately small but *real* substrate: it enforces schema
+(declared attributes, FK targets must exist), which the keyword-search
+tests exercise.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import GraphError
+from ..graph.graph import Graph
+
+__all__ = ["Relation", "Row", "Database", "tokenize"]
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+
+def tokenize(text: str) -> List[str]:
+    """Lower-case alphanumeric tokens of a text attribute."""
+    return _TOKEN_RE.findall(text.lower())
+
+
+@dataclass
+class Row:
+    """One tuple: a primary key, attribute values, FK references."""
+
+    key: Hashable
+    values: Dict[str, str]
+    references: List[Tuple[str, Hashable, float]] = field(default_factory=list)
+
+
+class Relation:
+    """A named relation with a fixed attribute list."""
+
+    def __init__(self, name: str, attributes: Sequence[str]) -> None:
+        if not name:
+            raise ValueError("relation name must be non-empty")
+        self.name = name
+        self.attributes = tuple(attributes)
+        self.rows: Dict[Hashable, Row] = {}
+
+    def insert(self, key: Hashable, **values: str) -> Row:
+        """Add a tuple; unknown attributes are rejected, keys are unique."""
+        if key in self.rows:
+            raise GraphError(f"{self.name}: duplicate key {key!r}")
+        unknown = set(values) - set(self.attributes)
+        if unknown:
+            raise GraphError(
+                f"{self.name}: unknown attributes {sorted(unknown)!r}"
+            )
+        row = Row(key=key, values=dict(values))
+        self.rows[key] = row
+        return row
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __repr__(self) -> str:
+        return f"Relation({self.name!r}, rows={len(self.rows)})"
+
+
+class Database:
+    """A set of relations plus foreign-key references between tuples."""
+
+    def __init__(self) -> None:
+        self.relations: Dict[str, Relation] = {}
+
+    def create_relation(self, name: str, attributes: Sequence[str]) -> Relation:
+        if name in self.relations:
+            raise GraphError(f"relation {name!r} already exists")
+        relation = Relation(name, attributes)
+        self.relations[name] = relation
+        return relation
+
+    def relation(self, name: str) -> Relation:
+        try:
+            return self.relations[name]
+        except KeyError:
+            raise GraphError(f"unknown relation {name!r}") from None
+
+    def add_reference(
+        self,
+        from_relation: str,
+        from_key: Hashable,
+        to_relation: str,
+        to_key: Hashable,
+        strength: float = 1.0,
+    ) -> None:
+        """Declare a foreign-key reference between two existing tuples.
+
+        ``strength`` becomes the edge weight of the tuple graph (smaller
+        = stronger relationship, per the keyword-search convention).
+        """
+        source = self.relation(from_relation)
+        target = self.relation(to_relation)
+        if from_key not in source.rows:
+            raise GraphError(f"{from_relation}: no tuple {from_key!r}")
+        if to_key not in target.rows:
+            raise GraphError(f"{to_relation}: no tuple {to_key!r}")
+        if strength <= 0.0:
+            raise GraphError("reference strength must be positive")
+        source.rows[from_key].references.append((to_relation, to_key, strength))
+
+    # ------------------------------------------------------------------
+    def to_graph(self) -> Graph:
+        """The tuple graph: nodes = tuples, edges = FK references.
+
+        Node labels: every token of every text attribute, plus a
+        ``rel:<name>`` marker so queries can restrict by relation.
+        Node names: ``(relation, key)`` so answers map back to tuples.
+        """
+        graph = Graph()
+        ids: Dict[Tuple[str, Hashable], int] = {}
+        for relation in self.relations.values():
+            for row in relation.rows.values():
+                labels = {f"rel:{relation.name}"}
+                for value in row.values.values():
+                    labels.update(tokenize(str(value)))
+                node = graph.add_node(labels=labels, name=(relation.name, row.key))
+                ids[(relation.name, row.key)] = node
+        for relation in self.relations.values():
+            for row in relation.rows.values():
+                u = ids[(relation.name, row.key)]
+                for to_relation, to_key, strength in row.references:
+                    v = ids[(to_relation, to_key)]
+                    graph.add_edge(u, v, strength)
+        return graph
+
+    def to_digraph(self):
+        """Directed tuple graph: edges follow the FK reference direction.
+
+        Use with :class:`repro.core.DirectedGSTSolver` when answers must
+        be rooted trees of *forward* references (e.g. "a citing paper
+        connecting these authors"), the BANKS/DPBF answer model.  The
+        undirected :meth:`to_graph` matches the paper's formulation.
+        """
+        from ..graph.digraph import DiGraph
+
+        digraph = DiGraph()
+        ids: Dict[Tuple[str, Hashable], int] = {}
+        for relation in self.relations.values():
+            for row in relation.rows.values():
+                labels = {f"rel:{relation.name}"}
+                for value in row.values.values():
+                    labels.update(tokenize(str(value)))
+                node = digraph.add_node(
+                    labels=labels, name=(relation.name, row.key)
+                )
+                ids[(relation.name, row.key)] = node
+        for relation in self.relations.values():
+            for row in relation.rows.values():
+                source = ids[(relation.name, row.key)]
+                for to_relation, to_key, strength in row.references:
+                    digraph.add_edge(source, ids[(to_relation, to_key)], strength)
+        return digraph
+
+    def describe_node(self, graph: Graph, node: int) -> str:
+        """Human-readable rendering of a tuple node (for case studies)."""
+        name = graph.name_of(node)
+        if name is None:
+            return f"node {node}"
+        relation_name, key = name
+        row = self.relation(relation_name).rows[key]
+        attrs = ", ".join(f"{k}={v!r}" for k, v in row.values.items())
+        return f"{relation_name}({key!r}): {attrs}"

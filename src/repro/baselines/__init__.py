@@ -1,0 +1,14 @@
+"""Approximation baselines the paper compares against (BANKS family)."""
+
+from .banks1 import Banks1Solver
+from .banks2 import Banks2Solver
+from .blinks import BlinksSolver, RootAnswer
+from .distance_network import DistanceNetworkSolver
+
+__all__ = [
+    "Banks1Solver",
+    "Banks2Solver",
+    "BlinksSolver",
+    "RootAnswer",
+    "DistanceNetworkSolver",
+]

@@ -1,0 +1,32 @@
+"""Benchmark harness: datasets, workloads, progressive runner, figures."""
+
+from . import datasets, figures, metrics, plotting, reporting, runner, workloads
+from .datasets import get_dataset, KWF_VALUES, DEFAULT_KWF
+from .runner import (
+    RATIO_CHECKPOINTS,
+    PROGRESSIVE_ALGORITHMS,
+    ALL_ALGORITHMS,
+    run_query,
+    run_suite,
+)
+from .workloads import make_workload, generate_queries
+
+__all__ = [
+    "datasets",
+    "figures",
+    "metrics",
+    "plotting",
+    "reporting",
+    "runner",
+    "workloads",
+    "get_dataset",
+    "KWF_VALUES",
+    "DEFAULT_KWF",
+    "RATIO_CHECKPOINTS",
+    "PROGRESSIVE_ALGORITHMS",
+    "ALL_ALGORITHMS",
+    "run_query",
+    "run_suite",
+    "make_workload",
+    "generate_queries",
+]

@@ -1,0 +1,98 @@
+"""Aggregation, formatting, and memory-measurement helpers."""
+
+from __future__ import annotations
+
+import math
+import tracemalloc
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar
+
+__all__ = [
+    "mean",
+    "geometric_mean",
+    "format_seconds",
+    "format_bytes",
+    "format_table",
+    "measure_peak_memory",
+]
+
+T = TypeVar("T")
+
+
+def measure_peak_memory(fn: Callable[[], T]) -> Tuple[T, int]:
+    """Run ``fn`` under :mod:`tracemalloc`; return ``(result, peak_bytes)``.
+
+    The paper's Figures 8-9 report allocator bytes; the solvers' own
+    ``stats.estimated_bytes`` is a model (states × bytes/state) — this
+    helper gives the ground-truth number when a benchmark wants it.
+    Roughly 2-4× slower than an uninstrumented run; nesting is handled
+    by saving and restoring any tracing already in progress.
+    """
+    was_tracing = tracemalloc.is_tracing()
+    if not was_tracing:
+        tracemalloc.start()
+    tracemalloc.reset_peak()
+    try:
+        result = fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        if not was_tracing:
+            tracemalloc.stop()
+    return result, peak
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; ``nan`` for an empty sequence."""
+    return sum(values) / len(values) if values else float("nan")
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (speedup aggregation)."""
+    filtered = [v for v in values if v > 0.0]
+    if not filtered:
+        return float("nan")
+    return math.exp(sum(math.log(v) for v in filtered) / len(filtered))
+
+
+def format_seconds(seconds: Optional[float]) -> str:
+    """Human-readable duration, paper-plot style."""
+    if seconds is None or seconds != seconds:  # None or NaN
+        return "-"
+    if seconds == float("inf"):
+        return "inf"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    if seconds < 120.0:
+        return f"{seconds:.2f}s"
+    return f"{seconds / 60.0:.1f}min"
+
+
+def format_bytes(count: float) -> str:
+    """Human-readable byte count (the paper's Figs 8-9 axes)."""
+    if count != count:
+        return "-"
+    for unit in ("B", "KB", "MB", "GB"):
+        if count < 1024.0 or unit == "GB":
+            return f"{count:.1f}{unit}" if unit != "B" else f"{int(count)}B"
+        count /= 1024.0
+    return f"{count:.1f}GB"  # pragma: no cover
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[str]], title: str = ""
+) -> str:
+    """Fixed-width ASCII table (what the bench harness prints)."""
+    rows = [list(map(str, row)) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)

@@ -1,0 +1,130 @@
+"""Terminal plotting for progressive curves (Figure-10-style output).
+
+A reproduction repository should let the reader *see* the UB/LB
+convergence without a plotting stack.  :func:`ascii_chart` renders
+multiple ``(x, y)`` series on a character grid with per-series markers
+and optional log-scaled x (the paper's time axes are log).
+
+Output example::
+
+    weight
+    16.00 |A
+    14.13 |AA
+    12.27 | B.
+     ...  |   ab....
+     8.00 |      ****
+          +-----------------
+          0.01s        4.2s
+
+Uppercase = upper bound, lowercase = lower bound by convention in
+:func:`progressive_chart`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["ascii_chart", "progressive_chart"]
+
+Point = Tuple[float, float]
+
+_MARKERS = "ABCDEFGH"
+
+
+def ascii_chart(
+    series: Dict[str, Sequence[Point]],
+    *,
+    width: int = 64,
+    height: int = 16,
+    log_x: bool = False,
+    y_label: str = "",
+) -> str:
+    """Render named point series on one character grid.
+
+    Later-listed series draw on top.  Non-finite points are skipped.
+    Returns the chart plus a legend mapping markers to series names.
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    if width < 8 or height < 4:
+        raise ValueError("chart too small")
+
+    points: List[Tuple[str, float, float]] = []
+    for name, pts in series.items():
+        for x, y in pts:
+            if math.isfinite(x) and math.isfinite(y):
+                points.append((name, x, y))
+    if not points:
+        raise ValueError("no finite points to plot")
+
+    def x_of(value: float) -> float:
+        if not log_x:
+            return value
+        return math.log10(max(value, 1e-9))
+
+    xs = [x_of(x) for _, x, _ in points]
+    ys = [y for _, _, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    names = list(series)
+    for name, x, y in points:
+        col = int((x_of(x) - x_lo) / x_span * (width - 1))
+        row = int((y_hi - y) / y_span * (height - 1))
+        marker = _MARKERS[names.index(name) % len(_MARKERS)]
+        grid[row][col] = marker
+
+    gutter = 10
+    lines: List[str] = []
+    if y_label:
+        lines.append(y_label)
+    for i, row in enumerate(grid):
+        y_value = y_hi - i / (height - 1) * y_span
+        prefix = f"{y_value:>{gutter - 2}.2f} |"
+        lines.append(prefix + "".join(row))
+    lines.append(" " * (gutter - 1) + "+" + "-" * width)
+    x_left = f"{min(x for _, x, _ in points):g}"
+    x_right = f"{max(x for _, x, _ in points):g}"
+    pad = max(1, width - len(x_left) - len(x_right))
+    lines.append(" " * gutter + x_left + " " * pad + x_right)
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={name}" for i, name in enumerate(names)
+    )
+    lines.append(" " * gutter + legend)
+    return "\n".join(lines)
+
+
+def progressive_chart(
+    traces: Dict[str, Sequence[Tuple[float, float, float]]],
+    *,
+    width: int = 64,
+    height: int = 16,
+) -> str:
+    """Figure-10-style chart from ``(elapsed, UB, LB)`` traces.
+
+    One chart per algorithm would be faithful to the paper; for a
+    terminal, overlaying each algorithm's UB is more readable — pass a
+    single-algorithm dict to get its UB *and* LB overlaid instead.
+    """
+    if not traces:
+        raise ValueError("no traces to plot")
+    if len(traces) == 1:
+        (name, trace), = traces.items()
+        series = {
+            f"{name} UB": [
+                (t, ub) for t, ub, _ in trace if math.isfinite(ub)
+            ],
+            f"{name} LB": [(t, lb) for t, _, lb in trace],
+        }
+    else:
+        series = {
+            name: [(t, ub) for t, ub, _ in trace if math.isfinite(ub)]
+            for name, trace in traces.items()
+        }
+    return ascii_chart(
+        series, width=width, height=height, log_x=True, y_label="tree weight"
+    )

@@ -1,0 +1,84 @@
+"""Machine-readable experiment records.
+
+The figure harness produces human-readable tables; this module
+serializes the underlying runs to JSON so experiment results can be
+diffed across runs, plotted externally, or archived next to
+``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from typing import Dict, Optional
+
+from .runner import QueryRun, RATIO_CHECKPOINTS, SuiteResult
+
+__all__ = [
+    "environment_record",
+    "query_run_to_dict",
+    "suite_to_dict",
+    "save_json",
+    "load_json",
+]
+
+
+def environment_record() -> dict:
+    """Where/when a record was produced (embedded in every report)."""
+    return {
+        "python": sys.version.split()[0],
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+
+
+def query_run_to_dict(run: QueryRun) -> dict:
+    """Serialize one (algorithm, query) execution."""
+    record = run.result.to_dict()
+    record["wall_seconds"] = run.wall_seconds
+    record["time_to_ratio"] = {
+        f"{target:g}": run.result.time_to_ratio(target)
+        for target in RATIO_CHECKPOINTS
+    }
+    return record
+
+
+def suite_to_dict(
+    suite: SuiteResult, *, metadata: Optional[dict] = None
+) -> dict:
+    """Serialize an aggregated suite (one figure panel)."""
+    record: Dict = {
+        "environment": environment_record(),
+        "metadata": metadata or {},
+        "algorithms": {},
+    }
+    for algorithm, runs in suite.runs.items():
+        record["algorithms"][algorithm] = {
+            "mean_total_seconds": suite.mean_total_seconds(algorithm),
+            "mean_states_popped": suite.mean_states(algorithm),
+            "mean_peak_bytes": suite.mean_peak_bytes(algorithm),
+            "mean_weight": suite.mean_weight(algorithm),
+            "all_optimal": suite.all_optimal(algorithm),
+            "mean_time_to_ratio": {
+                f"{target:g}": suite.mean_time_to_ratio(algorithm, target)
+                for target in RATIO_CHECKPOINTS
+            },
+            "runs": [query_run_to_dict(run) for run in runs],
+        }
+    return record
+
+
+def save_json(path: str, record: dict) -> None:
+    """Write a record as pretty-printed JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_json(path: str) -> dict:
+    """Read a record back."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)

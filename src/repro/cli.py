@@ -1,0 +1,276 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``solve``     Run a GST query over a graph stored on disk.
+``generate``  Produce a synthetic dataset (edge/label files).
+``info``      Summarize a stored graph.
+``bench``     Regenerate one of the paper's figures/tables.
+
+Graphs on disk use the two-file format of :mod:`repro.graph.io`
+(``<stem>.edges`` + ``<stem>.labels``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .bench import figures
+from .core.solver import ALGORITHMS, solve_gst
+from .core.topr import top_r_trees
+from .errors import ReproError
+from .graph import generators
+from .graph.io import load_graph, save_graph
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Efficient and progressive Group Steiner Tree search "
+        "(SIGMOD 2016 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    solve = sub.add_parser("solve", help="solve a GST query over a stored graph")
+    solve.add_argument("--graph", required=True, help="graph file stem")
+    solve.add_argument(
+        "--labels", required=True,
+        help="comma-separated query labels, e.g. q0,q1,q2",
+    )
+    solve.add_argument(
+        "--algorithm",
+        default="pruneddp++",
+        choices=sorted(ALGORITHMS) + ["auto"],
+    )
+    solve.add_argument("--epsilon", type=float, default=0.0,
+                       help="stop at a proven (1+eps)-approximation")
+    solve.add_argument("--time-limit", type=float, default=None,
+                       help="wall-clock budget in seconds")
+    solve.add_argument("--top", type=int, default=1,
+                       help="report the best TOP distinct answers")
+    solve.add_argument("--exact-top", action="store_true",
+                       help="with --top: exact enumeration instead of "
+                            "the progressive-search harvest")
+    solve.add_argument("--progress", action="store_true",
+                       help="print UB/LB events while solving")
+    solve.add_argument("--quiet", action="store_true",
+                       help="print only the final weight")
+    solve.add_argument("--json", action="store_true",
+                       help="emit the full result record as JSON")
+    solve.add_argument("--dot", action="store_true",
+                       help="emit the answer tree as Graphviz DOT")
+    solve.add_argument("--chart", action="store_true",
+                       help="draw the UB/LB convergence chart")
+
+    gen = sub.add_parser("generate", help="write a synthetic dataset")
+    gen.add_argument(
+        "--kind", required=True,
+        choices=["dblp", "imdb", "powerlaw", "road", "random"],
+    )
+    gen.add_argument("--out", required=True, help="output file stem")
+    gen.add_argument("--size", type=int, default=500,
+                     help="approximate node count")
+    gen.add_argument("--query-labels", type=int, default=20,
+                     help="number of controlled-frequency query labels")
+    gen.add_argument("--label-frequency", type=int, default=8,
+                     help="nodes per query label (the paper's kwf)")
+    gen.add_argument("--seed", type=int, default=0)
+
+    info = sub.add_parser("info", help="summarize a stored graph")
+    info.add_argument("--graph", required=True, help="graph file stem")
+
+    bench = sub.add_parser("bench", help="regenerate a paper experiment")
+    bench.add_argument(
+        "--experiment", required=True,
+        choices=["fig4", "fig6", "fig8", "fig10", "fig16", "table2"],
+    )
+    bench.add_argument("--dataset", default="dblp",
+                       choices=["dblp", "imdb", "livejournal", "roadusa"])
+    bench.add_argument("--scale", default="tiny",
+                       choices=["tiny", "small", "medium"])
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Command implementations
+# ----------------------------------------------------------------------
+def _cmd_solve(args: argparse.Namespace) -> int:
+    graph = load_graph(args.graph)
+    labels = [token for token in args.labels.split(",") if token]
+
+    on_progress = None
+    if args.progress:
+        def on_progress(point):
+            ub = "inf" if point.best_weight == float("inf") else f"{point.best_weight:g}"
+            print(
+                f"t={point.elapsed:8.3f}s  UB={ub:>10}  "
+                f"LB={point.lower_bound:10.4f}",
+                file=sys.stderr,
+            )
+
+    if args.top > 1:
+        from .core.topr import exact_top_r_trees
+
+        top_fn = exact_top_r_trees if args.exact_top else top_r_trees
+        trees = top_fn(
+            graph, labels, args.top,
+            time_limit=args.time_limit,
+        )
+        for i, tree in enumerate(trees, 1):
+            print(f"# answer {i}: weight={tree.weight:g}")
+            if not args.quiet:
+                print(tree.render(graph))
+        return 0
+
+    solver_kwargs = {}
+    if args.time_limit is not None:
+        solver_kwargs["time_limit"] = args.time_limit
+    if args.algorithm == "dpbf":
+        # DPBF is the non-progressive prior art: no epsilon/progress.
+        if args.epsilon or on_progress is not None:
+            print(
+                "note: dpbf is not progressive; ignoring --epsilon/--progress",
+                file=sys.stderr,
+            )
+    else:
+        if args.epsilon:
+            solver_kwargs["epsilon"] = args.epsilon
+        if on_progress is not None:
+            solver_kwargs["on_progress"] = on_progress
+    result = solve_gst(
+        graph, labels, algorithm=args.algorithm, **solver_kwargs
+    )
+    if args.json:
+        import json
+
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        return 0
+    if args.dot:
+        if result.tree is None:
+            print("error: no feasible tree found", file=sys.stderr)
+            return 2
+        print(result.tree.to_dot(graph))
+        return 0
+    if args.quiet:
+        print(f"{result.weight:g}")
+        return 0
+    print(f"algorithm : {result.algorithm}")
+    print(f"weight    : {result.weight:g}")
+    print(f"optimal   : {result.optimal}")
+    if not result.optimal:
+        print(f"ratio     : <= {result.ratio:.4f}")
+    print(f"states    : {result.stats.states_popped} popped, "
+          f"{result.stats.peak_live_states} peak live")
+    print(f"time      : {result.stats.total_seconds:.3f}s "
+          f"(init {result.stats.init_seconds:.3f}s)")
+    if result.tree is not None:
+        print(result.tree.render(graph))
+    if args.chart and result.trace:
+        from .bench.plotting import progressive_chart
+
+        trace = [
+            (p.elapsed, p.best_weight, p.lower_bound) for p in result.trace
+        ]
+        print()
+        print(progressive_chart({result.algorithm: trace}))
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    kind = args.kind
+    common = dict(
+        num_query_labels=args.query_labels,
+        label_frequency=args.label_frequency,
+        seed=args.seed,
+    )
+    if kind == "dblp":
+        graph = generators.dblp_like(
+            num_papers=args.size * 3 // 5,
+            num_authors=args.size * 2 // 5,
+            **common,
+        )
+    elif kind == "imdb":
+        graph = generators.imdb_like(
+            num_movies=args.size * 3 // 5,
+            num_people=args.size * 2 // 5,
+            **common,
+        )
+    elif kind == "powerlaw":
+        graph = generators.powerlaw(args.size, **common)
+    elif kind == "road":
+        side = max(2, int(args.size ** 0.5))
+        graph = generators.road_grid(side, side, **common)
+    else:
+        graph = generators.random_graph(args.size, args.size * 2, **common)
+    edges_path, labels_path = save_graph(graph, args.out)
+    print(f"wrote {graph.num_nodes} nodes / {graph.num_edges} edges to "
+          f"{edges_path} and {labels_path}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    graph = load_graph(args.graph)
+    degrees = [graph.degree(v) for v in graph.nodes()] or [0]
+    print(f"nodes        : {graph.num_nodes}")
+    print(f"edges        : {graph.num_edges}")
+    print(f"total weight : {graph.total_weight:g}")
+    print(f"labels       : {graph.num_labels}")
+    print(f"max degree   : {max(degrees)}")
+    print(f"avg degree   : {sum(degrees) / len(degrees):.2f}")
+    frequencies = sorted(
+        (graph.label_frequency(label) for label in graph.all_labels()),
+        reverse=True,
+    )
+    if frequencies:
+        print(f"label freq   : max={frequencies[0]} "
+              f"median={frequencies[len(frequencies) // 2]}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    dataset, scale = args.dataset, args.scale
+    if args.experiment == "fig4":
+        fig = figures.figure_time_vs_ratio_knum(dataset, scale=scale)
+    elif args.experiment == "fig6":
+        fig = figures.figure_time_vs_ratio_kwf(dataset, scale=scale)
+    elif args.experiment == "fig8":
+        fig = figures.figure_memory_vs_ratio_knum(dataset, scale=scale)
+    elif args.experiment == "fig10":
+        fig = figures.figure_progressive_bounds(dataset, scale=scale)
+    elif args.experiment == "fig16":
+        fig = figures.figure_large_knum(dataset, scale=scale)
+    else:  # table2
+        fig = figures.table_banks_comparison(dataset, scale=scale)
+    print(fig.text)
+    return 0
+
+
+_COMMANDS = {
+    "solve": _cmd_solve,
+    "generate": _cmd_generate,
+    "info": _cmd_info,
+    "bench": _cmd_bench,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # stdout consumer (e.g. `| head`) went away mid-print: not an error.
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

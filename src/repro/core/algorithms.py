@@ -1,0 +1,215 @@
+"""The four progressive GST solvers of the paper.
+
+Each class prepares the per-query context (and, for PrunedDP++, the
+AllPaths route tables), configures the shared
+:class:`~repro.core.engine.SearchEngine` with the algorithm's policy,
+and returns a :class:`~repro.core.result.GSTResult`.
+
+All solvers accept the same keyword arguments:
+
+``time_limit``
+    Seconds after which the best feasible answer so far is returned
+    (``result.optimal`` tells whether optimality was proven anyway).
+``epsilon``
+    Stop as soon as the proven ratio reaches ``1 + epsilon`` — the
+    anytime mode the paper's progressive framework enables.
+``max_states``
+    Cap on popped states (``on_limit`` chooses return-best or raise).
+``on_progress``
+    Callback invoked with every :class:`ProgressPoint` (UB/LB event).
+``progressive``
+    Set ``False`` to skip per-state feasible-solution construction
+    (pure optimal-search mode; used by some ablations).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable, Optional, Union
+
+from ..errors import GraphError
+from ..graph.graph import Graph
+from .allpaths import RouteTables
+from .bounds import LowerBounds
+from .context import QueryContext
+from .engine import SearchEngine
+from .query import GSTQuery
+from .result import GSTResult, ProgressPoint
+
+__all__ = [
+    "BasicSolver",
+    "PrunedDPSolver",
+    "PrunedDPPlusSolver",
+    "PrunedDPPlusPlusSolver",
+]
+
+QueryLike = Union[GSTQuery, Iterable[Hashable]]
+
+
+def _coerce_query(query: QueryLike) -> GSTQuery:
+    return query if isinstance(query, GSTQuery) else GSTQuery(query)
+
+
+class _ProgressiveSolverBase:
+    """Shared plumbing: context building, policy assembly, solve()."""
+
+    algorithm_name = "?"
+    prune_half = False
+    merge_factor: Optional[float] = None
+    complement_shortcut = False
+    requires_positive_weights = False
+    # Lower-bound selection (None → no A*).
+    use_one_label = False
+    use_tour1 = False
+    use_tour2 = False
+
+    def __init__(
+        self,
+        graph: Graph,
+        query: QueryLike,
+        *,
+        time_limit: Optional[float] = None,
+        epsilon: float = 0.0,
+        max_states: Optional[int] = None,
+        on_limit: str = "return",
+        on_progress: Optional[Callable[[ProgressPoint], None]] = None,
+        on_feasible=None,
+        progressive: bool = True,
+        distance_cache=None,
+    ) -> None:
+        self.graph = graph
+        self.query = _coerce_query(query)
+        self.time_limit = time_limit
+        self.epsilon = epsilon
+        self.max_states = max_states
+        self.on_limit = on_limit
+        self.on_progress = on_progress
+        self.on_feasible = on_feasible
+        self.progressive = progressive
+        self.distance_cache = distance_cache
+        if self.requires_positive_weights and graph.num_edges > 0:
+            if graph.min_edge_weight <= 0.0:
+                raise GraphError(
+                    f"{self.algorithm_name} requires strictly positive edge "
+                    "weights (Theorem 1, optimal-tree decomposition); "
+                    f"graph has min weight {graph.min_edge_weight}"
+                )
+
+    # Subclasses override to attach tables / bounds.
+    def _prepare(self, context: QueryContext):
+        """Return ``(bounds, extra_init_seconds, table_entries)``."""
+        return None, 0.0, 0
+
+    def solve(self) -> GSTResult:
+        """Run the algorithm; always returns, never raises for timeouts."""
+        context = QueryContext.build(
+            self.graph, self.query, cache=self.distance_cache
+        )
+        context.require_feasible()
+        bounds, extra_init, table_entries = self._prepare(context)
+        engine = SearchEngine(
+            context,
+            algorithm_name=self.algorithm_name,
+            bounds=bounds,
+            prune_half=self.prune_half,
+            merge_factor=self.merge_factor,
+            complement_shortcut=self.complement_shortcut,
+            progressive=self.progressive,
+            time_limit=self.time_limit,
+            epsilon=self.epsilon,
+            max_states=self.max_states,
+            on_limit=self.on_limit,
+            on_progress=self.on_progress,
+            on_feasible=self.on_feasible,
+            init_seconds=context.build_seconds + extra_init,
+            table_entries=table_entries,
+        )
+        return engine.run()
+
+
+class BasicSolver(_ProgressiveSolverBase):
+    """Algorithm 1 — progressive best-first DP with best-solution pruning.
+
+    The baseline of the paper's experiments: already progressive and
+    faster than plain DPBF thanks to the ``cost >= best`` pruning, but
+    without the decomposition/merging theorems or A* bounds.
+    """
+
+    algorithm_name = "Basic"
+
+
+class PrunedDPSolver(_ProgressiveSolverBase):
+    """Algorithm 2 — optimal-tree decomposition + conditional merging.
+
+    Expands only states lighter than ``best/2`` (Theorem 1), merges two
+    subtrees only when their total is at most ``2/3·best`` (Theorem 2,
+    whose factor the paper proves optimal), and immediately forms the
+    feasible state from complementary settled pairs.
+    """
+
+    algorithm_name = "PrunedDP"
+    prune_half = True
+    merge_factor = 2.0 / 3.0
+    complement_shortcut = True
+    requires_positive_weights = True
+
+
+class PrunedDPPlusSolver(PrunedDPSolver):
+    """PrunedDP + A*-search with the one-label lower bound ``π₁``."""
+
+    algorithm_name = "PrunedDP+"
+    use_one_label = True
+
+    def _prepare(self, context: QueryContext):
+        bounds = LowerBounds(
+            context,
+            routes=None,
+            use_one_label=True,
+            use_tour1=False,
+            use_tour2=False,
+        )
+        return bounds, 0.0, 0
+
+
+class PrunedDPPlusPlusSolver(PrunedDPSolver):
+    """Algorithm 4 — A*-search with the combined tour-based bounds.
+
+    Builds the AllPaths route tables (Algorithm 3) once per query and
+    uses ``π = max(π₁, π_t1, π_t2)`` with the path-max consistency fix.
+    Individual bounds can be disabled for the ablation experiments.
+    """
+
+    algorithm_name = "PrunedDP++"
+    use_one_label = True
+    use_tour1 = True
+    use_tour2 = True
+
+    def __init__(
+        self,
+        graph: Graph,
+        query: QueryLike,
+        *,
+        use_one_label: bool = True,
+        use_tour1: bool = True,
+        use_tour2: bool = True,
+        **kwargs,
+    ) -> None:
+        super().__init__(graph, query, **kwargs)
+        self.use_one_label = use_one_label
+        self.use_tour1 = use_tour1
+        self.use_tour2 = use_tour2
+
+    def _prepare(self, context: QueryContext):
+        needs_tables = self.use_tour1 or self.use_tour2
+        routes = (
+            RouteTables.build(self.graph, context.groups) if needs_tables else None
+        )
+        bounds = LowerBounds(
+            context,
+            routes=routes,
+            use_one_label=self.use_one_label,
+            use_tour1=self.use_tour1,
+            use_tour2=self.use_tour2,
+        )
+        extra = routes.build_seconds if routes is not None else 0.0
+        entries = routes.num_entries if routes is not None else 0
+        return bounds, extra, entries

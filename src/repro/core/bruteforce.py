@@ -1,0 +1,111 @@
+"""Brute-force GST oracle for tiny graphs (test reference).
+
+Fact: the optimal Group Steiner Tree weight equals
+
+    min over node subsets S that (a) induce a connected subgraph and
+    (b) cover every query label, of  MST(G[S]).
+
+Proof sketch: for the optimal tree ``T*`` with node set ``S*``,
+``MST(G[S*]) <= w(T*)`` (``T*`` is a spanning tree of ``G[S*]``), and
+every such MST is itself a feasible covering tree, so equality holds at
+the optimum.
+
+Enumerating all ``2^n`` subsets is hopeless beyond ~16 nodes — which is
+exactly the regime the hypothesis-based cross-checks run in.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Hashable, Iterable, List, Optional, Tuple
+
+from ..graph.graph import Graph
+from ..graph.mst import minimum_spanning_forest
+from ..graph.union_find import UnionFind
+from .query import GSTQuery
+from .tree import SteinerTree
+
+__all__ = ["brute_force_gst", "brute_force_route"]
+
+INF = float("inf")
+MAX_BRUTE_FORCE_NODES = 18
+
+
+def brute_force_gst(
+    graph: Graph, labels: Iterable[Hashable]
+) -> Tuple[float, Optional[SteinerTree]]:
+    """Exact optimum by subset enumeration; ``(inf, None)`` if infeasible."""
+    query = labels if isinstance(labels, GSTQuery) else GSTQuery(labels)
+    n = graph.num_nodes
+    if n > MAX_BRUTE_FORCE_NODES:
+        raise ValueError(
+            f"brute force supports at most {MAX_BRUTE_FORCE_NODES} nodes, got {n}"
+        )
+    label_masks = [0] * n
+    for i, label in enumerate(query.labels):
+        for node in graph.nodes_with_label(label):
+            label_masks[node] |= 1 << i
+    full = query.full_mask
+
+    all_edges = list(graph.edges())
+    best_weight = INF
+    best_tree: Optional[SteinerTree] = None
+
+    for subset in range(1, 1 << n):
+        covered = 0
+        node = subset
+        while node:
+            low = node & -node
+            covered |= label_masks[low.bit_length() - 1]
+            node ^= low
+        if covered != full:
+            continue
+        members = [i for i in range(n) if subset >> i & 1]
+        sub_edges = [
+            (u, v, w)
+            for u, v, w in all_edges
+            if subset >> u & 1 and subset >> v & 1
+        ]
+        tree_edges = minimum_spanning_forest(sub_edges)
+        if len(tree_edges) != len(members) - 1:
+            continue  # induced subgraph disconnected
+        weight = sum(w for _, _, w in tree_edges)
+        if weight < best_weight:
+            best_weight = weight
+            if tree_edges:
+                best_tree = SteinerTree(tree_edges)
+            else:
+                best_tree = SteinerTree.single_node(members[0])
+    return best_weight, best_tree
+
+
+def brute_force_route(
+    distance: List[List[float]], start: int, end: int, through: Iterable[int]
+) -> float:
+    """Cheapest route start→…→end visiting ``through`` (oracle for AllPaths).
+
+    ``distance`` is the pairwise virtual-node matrix; the route visits
+    every index of ``through`` (which must include ``start`` and ``end``)
+    exactly once in some order.  Exponential — test sizes only.
+    """
+    middle = [i for i in through if i != start and i != end]
+    if start == end:
+        if middle or start not in set(through):
+            # A closed non-trivial route is not expressible in this DP's
+            # state space (see RouteTables docstring); only the singleton
+            # route has weight 0.
+            return 0.0 if not middle else INF
+        return 0.0
+    best = INF
+    from itertools import permutations
+
+    for order in permutations(middle):
+        weight = 0.0
+        current = start
+        for nxt in order:
+            weight += distance[current][nxt]
+            current = nxt
+        weight += distance[current][end]
+        if weight < best:
+            best = weight
+    return best

@@ -1,0 +1,372 @@
+"""The progressive best-first / A* search engine.
+
+Algorithms 1 (``Basic``), 2 (``PrunedDP``) and 4 (``PrunedDP++``) share
+their entire control flow — pop the best state, construct a feasible
+solution, expand by *edge growing* and *tree merging*, maintain the best
+feasible answer and a monotone lower bound — and differ only in four
+policy knobs:
+
+======================  =======  =========  ==========  ============
+knob                    Basic    PrunedDP   PrunedDP+   PrunedDP++
+======================  =======  =========  ==========  ============
+``bounds`` (A* π)       —        —          one-label   π₁+π_t1+π_t2
+``prune_half``          no       yes        yes         yes
+``merge_factor``        —        2/3        2/3         2/3
+``complement_shortcut`` no       yes        yes         yes
+======================  =======  =========  ==========  ============
+
+``prune_half`` is Theorem 1 (only states lighter than ``best/2`` are
+expanded), ``merge_factor`` is Theorem 2 (two subtrees merge only when
+their total is at most ``2/3 · best``), and ``complement_shortcut`` is
+Algorithm 2 lines 16-18 (a popped state whose complement is settled
+immediately forms the feasible state and is not otherwise expanded).
+
+A* priorities use the paper's path-max fix (Section 4.2): the bound
+cache is raised with ``π(parent) - δ`` on every expansion, which keeps
+the combined bound consistent in practice.  As a *belt-and-braces*
+exactness guarantee — independent of any consistency argument — the
+engine reopens a settled state if a strictly cheaper derivation ever
+appears (``stats.reopened`` counts these; the test suite asserts
+agreement with plain DPBF on thousands of random instances).
+
+Progressiveness: the engine emits :class:`~repro.core.result.ProgressPoint`
+events whose ``(best_weight, lower_bound)`` pairs are exactly the UB/LB
+curves of the paper's Figure 10, and every intermediate answer carries a
+sound approximation guarantee (monotone non-increasing ratio).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import LimitExceededError
+from ..graph.heap import IndexedHeap
+from .bounds import LowerBounds
+from .context import QueryContext
+from .feasible import build_feasible_tree, steiner_tree_from_edges
+from .result import GSTResult, ProgressPoint, SearchStats
+from .state import StateStore
+from .tree import SteinerTree
+
+__all__ = ["SearchEngine"]
+
+INF = float("inf")
+_COST_EPS = 1e-12
+_LIMIT_CHECK_INTERVAL = 256
+
+
+class SearchEngine:
+    """One run of the progressive GST search over a prepared query context."""
+
+    def __init__(
+        self,
+        context: QueryContext,
+        *,
+        algorithm_name: str,
+        bounds: Optional[LowerBounds] = None,
+        prune_half: bool = False,
+        merge_factor: Optional[float] = None,
+        complement_shortcut: bool = False,
+        progressive: bool = True,
+        time_limit: Optional[float] = None,
+        epsilon: float = 0.0,
+        max_states: Optional[int] = None,
+        on_limit: str = "return",
+        on_progress: Optional[Callable[[ProgressPoint], None]] = None,
+        on_feasible: Optional[Callable[[SteinerTree], None]] = None,
+        init_seconds: float = 0.0,
+        table_entries: int = 0,
+    ) -> None:
+        if epsilon < 0.0:
+            raise ValueError("epsilon must be >= 0")
+        if on_limit not in ("return", "raise"):
+            raise ValueError("on_limit must be 'return' or 'raise'")
+        if merge_factor is not None and not 0.0 < merge_factor <= 1.0:
+            raise ValueError("merge_factor must be in (0, 1]")
+        self.context = context
+        self.algorithm_name = algorithm_name
+        self.bounds = bounds
+        self.prune_half = prune_half
+        self.merge_factor = merge_factor
+        self.complement_shortcut = complement_shortcut
+        self.progressive = progressive
+        self.time_limit = time_limit
+        self.epsilon = epsilon
+        self.max_states = max_states
+        self.on_limit = on_limit
+        self.on_progress = on_progress
+        self.on_feasible = on_feasible
+
+        self.stats = SearchStats(
+            init_seconds=init_seconds, table_entries=table_entries
+        )
+        self.trace: List[ProgressPoint] = []
+
+        self._queue = IndexedHeap()
+        self._pending: Dict[Tuple[int, int], Tuple[float, tuple]] = {}
+        self._store = StateStore(context.graph.num_nodes)
+        self._full = context.full_mask
+        self._best = INF
+        self._best_tree: Optional[SteinerTree] = None
+        self._global_lb = 0.0
+        self._last_ratio_recorded = INF
+        self._started = 0.0
+
+    # ------------------------------------------------------------------
+    # Public entry point
+    # ------------------------------------------------------------------
+    def run(self) -> GSTResult:
+        """Execute the search and return the (possibly anytime) result."""
+        self._started = time.perf_counter() - self.stats.init_seconds
+        self._seed_states()
+
+        optimal = False
+        pops_since_check = 0
+        while self._queue:
+            pops_since_check += 1
+            if pops_since_check >= _LIMIT_CHECK_INTERVAL:
+                pops_since_check = 0
+                if self._limits_hit():
+                    break
+            if self._epsilon_satisfied():
+                optimal = self.epsilon == 0.0
+                break
+
+            key, f_value = self._queue.pop()
+            node, mask = key
+            cost, backpointer = self._pending.pop(key)
+            self.stats.states_popped += 1
+            self._raise_global_lb(f_value if self.bounds is not None else cost)
+
+            if mask == self._full:
+                # Goal popped: its cost is the proven optimum.
+                if cost < self._best - _COST_EPS:
+                    self._adopt_best_state(node, mask, cost, backpointer)
+                self._store.settle(node, mask, cost, backpointer)
+                self._raise_global_lb(self._best)
+                optimal = True
+                break
+
+            self._store.settle(node, mask, cost, backpointer)
+            self._track_peak()
+
+            if self.progressive:
+                self._build_feasible(node, mask, cost, backpointer)
+
+            parent_f = f_value if self.bounds is not None else cost
+
+            if self.complement_shortcut:
+                complement = self._full ^ mask
+                complement_cost = self._store.cost_or_none(node, complement)
+                if complement_cost is not None:
+                    self._update(
+                        node,
+                        self._full,
+                        cost + complement_cost,
+                        ("merge", mask, complement),
+                        parent_f,
+                    )
+                    continue  # Algorithm 2 line 18
+
+            if self.prune_half and cost >= self._best / 2.0:
+                continue  # Theorem 1: no expansion needed
+
+            self._expand(node, mask, cost, parent_f)
+
+        else:
+            # Queue drained without popping a goal: every alternative was
+            # pruned against `best`, so the best feasible answer is optimal
+            # (provided one exists at all).
+            if self._best < INF:
+                optimal = True
+                self._raise_global_lb(self._best)
+
+        if self._best < INF and self._global_lb >= self._best - _COST_EPS:
+            optimal = True
+        self.stats.total_seconds = self._elapsed()
+        self._record_progress(force=True)
+        return GSTResult(
+            algorithm=self.algorithm_name,
+            labels=self.context.query.labels,
+            tree=self._best_tree,
+            weight=self._best,
+            lower_bound=self._best if optimal else min(self._global_lb, self._best),
+            optimal=optimal,
+            stats=self.stats,
+            trace=self.trace,
+        )
+
+    # ------------------------------------------------------------------
+    # Search phases
+    # ------------------------------------------------------------------
+    def _seed_states(self) -> None:
+        """Initial states ``(v, {p})`` at cost 0 for every ``v ∈ V_p``."""
+        # Seeding one label per state matches the paper; nodes carrying
+        # several query labels reach the richer masks via zero-cost merges
+        # of their seed states.
+        for label_index, members in enumerate(self.context.groups):
+            bit = 1 << label_index
+            for node in members:
+                self._update(node, bit, 0.0, ("seed", label_index), 0.0)
+        self._track_peak()
+
+    def _expand(self, node: int, mask: int, cost: float, parent_f: float) -> None:
+        self.stats.states_expanded += 1
+        full = self._full
+        # Edge growing: state (u, X) from (v, X) plus edge (v, u).
+        for neighbor, weight in self.context.graph.adjacency()[node]:
+            self.stats.edges_grown += 1
+            self._update(
+                neighbor, mask, cost + weight, ("grow", node, weight), parent_f
+            )
+        # Tree merging with every settled, disjoint mask at this node.
+        merge_budget = (
+            self.merge_factor * self._best
+            if self.merge_factor is not None and self._best < INF
+            else INF
+        )
+        for other_mask, other_cost in list(self._store.masks_at(node).items()):
+            if other_mask & mask:
+                continue
+            combined = cost + other_cost
+            new_mask = mask | other_mask
+            if new_mask != full and combined > merge_budget:
+                continue  # Theorem 2: unpromising partial merge
+            self.stats.merges_performed += 1
+            self._update(
+                node, new_mask, combined, ("merge", mask, other_mask), parent_f
+            )
+
+    def _update(
+        self,
+        node: int,
+        mask: int,
+        cost: float,
+        backpointer: tuple,
+        parent_f: float,
+    ) -> None:
+        """The paper's ``update`` procedure (Alg 1 lines 21-26 / Alg 4 28-36)."""
+        settled = self._store.cost_or_none(node, mask)
+        if settled is not None:
+            if cost >= settled - _COST_EPS:
+                return
+            # A strictly cheaper derivation reached a settled state: the
+            # exactness safety net (see module docstring).
+            self._store.reopen(node, mask)
+            self.stats.reopened += 1
+
+        if self.bounds is not None:
+            pi = self.bounds.raise_to(node, mask, parent_f - cost)
+            f_value = cost + pi
+        else:
+            f_value = cost
+
+        if f_value >= self._best:
+            return  # cannot improve on the best feasible solution
+
+        if mask == self._full and cost < self._best - _COST_EPS:
+            self._adopt_best_state(node, mask, cost, backpointer)
+
+        key = (node, mask)
+        existing = self._pending.get(key)
+        if existing is not None and existing[0] <= cost + _COST_EPS:
+            return
+        if existing is None:
+            self.stats.states_pushed += 1
+        self._pending[key] = (cost, backpointer)
+        self._queue.update(key, f_value)
+        self._track_peak()
+
+    # ------------------------------------------------------------------
+    # Feasible solutions and progress reporting
+    # ------------------------------------------------------------------
+    def _build_feasible(
+        self, node: int, mask: int, cost: float, backpointer: tuple
+    ) -> None:
+        """Algorithms 1/2/4 lines 10-15: upper bound from this state."""
+        if self._best <= cost and self.on_feasible is None:
+            # The feasible tree costs at least `cost`; it cannot beat
+            # the incumbent, so skip the MST work.  (With an on_feasible
+            # collector installed — the top-r mode — every candidate is
+            # still materialized.)
+            return
+        state_edges = self._store.tree_edges(node, mask)
+        tree = build_feasible_tree(self.context, state_edges, node, mask)
+        self.stats.feasible_built += 1
+        if tree is None:
+            return
+        if self.on_feasible is not None:
+            self.on_feasible(tree)
+        if tree.weight < self._best - _COST_EPS:
+            self._best = tree.weight
+            self._best_tree = tree
+            self._record_progress()
+
+    def _adopt_best_state(
+        self, node: int, mask: int, cost: float, backpointer: tuple
+    ) -> None:
+        """A goal state beat the incumbent: rebuild its tree."""
+        edges = self._store.tree_edges(node, mask, override=(node, mask, backpointer))
+        tree = steiner_tree_from_edges(edges, anchor=node)
+        # Merged derivations may share edges, in which case the actual
+        # union is even lighter than the state cost; keep the real weight.
+        self._best = min(cost, tree.weight)
+        self._best_tree = tree
+        if self.on_feasible is not None:
+            self.on_feasible(tree)
+        self._record_progress()
+
+    def _raise_global_lb(self, value: float) -> None:
+        if value > self._global_lb:
+            self._global_lb = min(value, self._best)
+            self._record_progress()
+
+    def _record_progress(self, force: bool = False) -> None:
+        point = ProgressPoint(
+            elapsed=self._elapsed(),
+            best_weight=self._best,
+            lower_bound=min(self._global_lb, self._best),
+        )
+        ratio = point.ratio
+        if not force and self.trace:
+            last = self.trace[-1]
+            improved_best = point.best_weight < last.best_weight - _COST_EPS
+            improved_ratio = ratio < self._last_ratio_recorded * 0.999
+            if not improved_best and not improved_ratio:
+                return
+        self._last_ratio_recorded = ratio
+        self.trace.append(point)
+        if self.on_progress is not None:
+            self.on_progress(point)
+
+    # ------------------------------------------------------------------
+    # Limits
+    # ------------------------------------------------------------------
+    def _elapsed(self) -> float:
+        return time.perf_counter() - self._started
+
+    def _epsilon_satisfied(self) -> bool:
+        if self._best == INF or self._global_lb <= 0.0:
+            return False
+        return self._best <= (1.0 + self.epsilon) * self._global_lb + _COST_EPS
+
+    def _limits_hit(self) -> bool:
+        if self.time_limit is not None and self._elapsed() >= self.time_limit:
+            return True
+        if self.max_states is not None and self.stats.states_popped >= self.max_states:
+            if self.on_limit == "raise":
+                raise LimitExceededError(
+                    f"{self.algorithm_name}: max_states={self.max_states} exhausted"
+                )
+            return True
+        return False
+
+    def _track_peak(self) -> None:
+        live = len(self._queue) + len(self._store)
+        if live > self.stats.peak_live_states:
+            self.stats.peak_live_states = live
+        if len(self._queue) > self.stats.peak_queue_size:
+            self.stats.peak_queue_size = len(self._queue)
+        if len(self._store) > self.stats.peak_store_size:
+            self.stats.peak_store_size = len(self._store)

@@ -1,0 +1,56 @@
+"""Automatic algorithm selection (``algorithm="auto"``).
+
+A downstream user should not need the paper's Section 5 to pick a
+solver.  The planner encodes the decision tree the experiments justify:
+
+1. ``k = 1`` — any solver answers instantly; use Basic (no table cost).
+2. zero-weight edges — the PrunedDP family's Theorem 1 precondition
+   fails; fall back to Basic (still progressive, still exact).
+3. ``k`` within the AllPaths table budget — PrunedDP++ (the paper's
+   fastest throughout Figs 4-16).
+4. larger ``k`` — PrunedDP+ (one-label bound needs no ``2^k`` tables).
+
+:func:`plan_algorithm` returns the name plus a human-readable reason
+(surfaced by the CLI); :func:`repro.core.solver.solve_gst` accepts
+``algorithm="auto"`` and delegates here.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence, Tuple
+
+from ..graph.graph import Graph
+from .allpaths import MAX_ALLPATHS_LABELS
+
+__all__ = ["plan_algorithm"]
+
+
+def plan_algorithm(
+    graph: Graph, labels: Sequence[Hashable]
+) -> Tuple[str, str]:
+    """Choose a solver for this (graph, query) pair.
+
+    Returns ``(algorithm_name, reason)``.
+    """
+    k = len(set(labels))
+    if k <= 1:
+        return (
+            "basic",
+            "single-label query: any group member answers at weight 0",
+        )
+    if graph.num_edges > 0 and graph.min_edge_weight <= 0.0:
+        return (
+            "basic",
+            "graph has non-positive edge weights: Theorem 1 (optimal-tree "
+            "decomposition) does not apply, pruned solvers are unsound",
+        )
+    if k <= MAX_ALLPATHS_LABELS:
+        return (
+            "pruneddp++",
+            "tour-based A* dominates at this query size (paper Figs 4-16)",
+        )
+    return (
+        "pruneddp+",
+        f"k={k} exceeds the AllPaths table budget "
+        f"({MAX_ALLPATHS_LABELS}); one-label A* has no 2^k table",
+    )

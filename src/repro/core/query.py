@@ -1,0 +1,114 @@
+"""GST query objects and validation.
+
+A query is an ordered set of labels ``P``.  Internally every solver works
+with *label indexes* ``0..k-1`` packed into an int bitmask, so the query
+object owns the label→index mapping used throughout a solve.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, List, Sequence, Tuple
+
+from ..errors import InfeasibleQueryError, QueryError
+from ..graph.graph import Graph
+
+__all__ = ["GSTQuery", "MAX_QUERY_LABELS"]
+
+# Bitmask DP over label subsets: 2^k states per node.  20 labels is far
+# beyond anything the paper runs (knum <= 10) but keeps the door open.
+MAX_QUERY_LABELS = 20
+
+
+class GSTQuery:
+    """An ordered, duplicate-free set of query labels.
+
+    >>> q = GSTQuery(["db", "ml"])
+    >>> q.k
+    2
+    >>> q.full_mask
+    3
+    >>> q.labels_of_mask(0b10)
+    ('ml',)
+    """
+
+    __slots__ = ("labels", "_index")
+
+    def __init__(self, labels: Iterable[Hashable]) -> None:
+        labels = tuple(labels)
+        if not labels:
+            raise QueryError("query must contain at least one label")
+        if len(set(labels)) != len(labels):
+            raise QueryError(f"query labels must be unique, got {labels!r}")
+        if len(labels) > MAX_QUERY_LABELS:
+            raise QueryError(
+                f"query has {len(labels)} labels; the bitmask DP supports "
+                f"at most {MAX_QUERY_LABELS}"
+            )
+        self.labels: Tuple[Hashable, ...] = labels
+        self._index = {label: i for i, label in enumerate(labels)}
+
+    # ------------------------------------------------------------------
+    @property
+    def k(self) -> int:
+        """Number of query labels (``knum`` in the paper)."""
+        return len(self.labels)
+
+    @property
+    def full_mask(self) -> int:
+        """Bitmask with all ``k`` label bits set (the goal set ``P``)."""
+        return (1 << len(self.labels)) - 1
+
+    def index_of(self, label: Hashable) -> int:
+        """Index of a query label (raises ``QueryError`` for foreign labels)."""
+        try:
+            return self._index[label]
+        except KeyError:
+            raise QueryError(f"label {label!r} is not part of this query") from None
+
+    def mask_of(self, labels: Iterable[Hashable]) -> int:
+        """Bitmask of a subset of query labels."""
+        mask = 0
+        for label in labels:
+            mask |= 1 << self.index_of(label)
+        return mask
+
+    def labels_of_mask(self, mask: int) -> Tuple[Hashable, ...]:
+        """The labels selected by ``mask`` (in query order)."""
+        return tuple(
+            label for i, label in enumerate(self.labels) if mask >> i & 1
+        )
+
+    def node_mask(self, graph: Graph, node: int) -> int:
+        """Bitmask of the query labels carried by ``node``."""
+        node_labels = graph.labels_of(node)
+        mask = 0
+        for i, label in enumerate(self.labels):
+            if label in node_labels:
+                mask |= 1 << i
+        return mask
+
+    # ------------------------------------------------------------------
+    def groups(self, graph: Graph) -> List[List[int]]:
+        """Node groups ``V_p`` for each query label, validating coverage.
+
+        Raises :class:`InfeasibleQueryError` if any label is missing from
+        the graph entirely (no tree can ever cover it).
+        """
+        groups: List[List[int]] = []
+        for label in self.labels:
+            members = list(graph.nodes_with_label(label))
+            if not members:
+                raise InfeasibleQueryError(
+                    f"query label {label!r} occurs on no node of the graph"
+                )
+            groups.append(members)
+        return groups
+
+    def __repr__(self) -> str:
+        return f"GSTQuery({list(self.labels)!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, GSTQuery) and self.labels == other.labels
+
+    def __hash__(self) -> int:
+        return hash(self.labels)

@@ -1,0 +1,159 @@
+"""Result and progress-reporting types shared by all solvers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, List, Optional, Tuple
+
+from .tree import SteinerTree
+
+__all__ = ["ProgressPoint", "SearchStats", "GSTResult"]
+
+INF = float("inf")
+
+# Rough per-state footprint used to translate peak live-state counts into
+# the byte figures the paper plots (Figs 8/9).  A state costs a queue
+# entry (priority tuple + key tuple + heap slot + position-map slot) or a
+# store entry (cost + backpointer) — ~100 bytes in CPython either way.
+BYTES_PER_STATE = 100
+
+
+@dataclass(frozen=True)
+class ProgressPoint:
+    """One progressive-report event: the paper's (UB, LB) pair over time.
+
+    ``ratio`` is the proven approximation guarantee ``UB / LB`` of the
+    feasible solution held at ``elapsed`` seconds (``inf`` before the
+    first lower bound, ``1.0`` at proven optimality).
+    """
+
+    elapsed: float
+    best_weight: float
+    lower_bound: float
+
+    @property
+    def ratio(self) -> float:
+        if self.best_weight == INF:
+            return INF
+        if self.lower_bound <= 0.0:
+            return INF if self.best_weight > 0.0 else 1.0
+        return max(1.0, self.best_weight / self.lower_bound)
+
+
+@dataclass
+class SearchStats:
+    """Counters a solve accumulates; the basis of the memory experiments."""
+
+    states_popped: int = 0
+    states_pushed: int = 0
+    states_expanded: int = 0
+    merges_performed: int = 0
+    edges_grown: int = 0
+    feasible_built: int = 0
+    reopened: int = 0
+    peak_queue_size: int = 0
+    peak_store_size: int = 0
+    peak_live_states: int = 0
+    table_entries: int = 0
+    init_seconds: float = 0.0
+    total_seconds: float = 0.0
+
+    @property
+    def estimated_bytes(self) -> int:
+        """Approximate peak working-set size in bytes.
+
+        Live DP states dominate (the paper's own argument for why its
+        memory and time curves look alike); PrunedDP++ adds the
+        ``O(2^k k^2)`` route tables.
+        """
+        return self.peak_live_states * BYTES_PER_STATE + self.table_entries * 8
+
+
+@dataclass
+class GSTResult:
+    """Outcome of a (possibly interrupted) GST solve.
+
+    ``optimal`` is True only when optimality was *proven* (a goal state
+    was popped, the queue drained, or the lower bound met the upper
+    bound).  ``ratio`` is always a sound guarantee: ``weight`` is within
+    that factor of the true optimum.
+    """
+
+    algorithm: str
+    labels: Tuple[Hashable, ...]
+    tree: Optional[SteinerTree]
+    weight: float
+    lower_bound: float
+    optimal: bool
+    stats: SearchStats
+    trace: List[ProgressPoint] = field(default_factory=list)
+
+    @property
+    def ratio(self) -> float:
+        """Proven approximation ratio of ``weight`` (1.0 when optimal)."""
+        if self.optimal:
+            return 1.0
+        if self.weight == INF:
+            return INF
+        if self.lower_bound <= 0.0:
+            return INF if self.weight > 0.0 else 1.0
+        return max(1.0, self.weight / self.lower_bound)
+
+    def time_to_ratio(self, target: float) -> Optional[float]:
+        """Seconds until the proven ratio first dropped to ``target``.
+
+        This is how the paper's Figures 4-9 are read: one curve point
+        per (algorithm, target-ratio).  Returns ``None`` if the solve
+        never achieved the target.
+        """
+        for point in self.trace:
+            if point.ratio <= target + 1e-12:
+                return point.elapsed
+        return None
+
+    def to_dict(self) -> dict:
+        """JSON-serializable record of the solve (experiment logging).
+
+        Tree edges are included verbatim; ``inf`` weights become the
+        string ``"inf"`` so the dict survives ``json.dumps`` round
+        trips losslessly.
+        """
+        def _num(value: float):
+            return "inf" if value == INF else value
+
+        return {
+            "algorithm": self.algorithm,
+            "labels": [str(label) for label in self.labels],
+            "weight": _num(self.weight),
+            "lower_bound": _num(self.lower_bound),
+            "optimal": self.optimal,
+            "ratio": _num(self.ratio),
+            "tree": {
+                "nodes": sorted(self.tree.nodes),
+                "edges": [[u, v, w] for u, v, w in self.tree.edges],
+            }
+            if self.tree is not None
+            else None,
+            "stats": {
+                "states_popped": self.stats.states_popped,
+                "states_pushed": self.stats.states_pushed,
+                "states_expanded": self.stats.states_expanded,
+                "merges_performed": self.stats.merges_performed,
+                "reopened": self.stats.reopened,
+                "peak_live_states": self.stats.peak_live_states,
+                "estimated_bytes": self.stats.estimated_bytes,
+                "init_seconds": self.stats.init_seconds,
+                "total_seconds": self.stats.total_seconds,
+            },
+            "trace": [
+                [p.elapsed, _num(p.best_weight), p.lower_bound]
+                for p in self.trace
+            ],
+        }
+
+    def __repr__(self) -> str:
+        status = "optimal" if self.optimal else f"ratio<={self.ratio:.3f}"
+        return (
+            f"GSTResult({self.algorithm}, weight={self.weight:g}, {status}, "
+            f"popped={self.stats.states_popped})"
+        )

@@ -1,0 +1,146 @@
+"""DP state bookkeeping for the parameterized Steiner tree algorithms.
+
+A state is a pair ``(v, X)`` — node id plus bitmask of covered query
+labels.  :class:`StateStore` is the set ``D`` of the paper: the states
+whose optimal weight has been settled, together with *backpointers*
+recording how each state's tree was derived so the actual Steiner tree
+can be reconstructed:
+
+* ``('seed', label_index)`` — initial state ``(v, {p})`` with weight 0;
+* ``('grow', parent_node, weight)`` — tree of ``(v, X)`` is the tree of
+  ``(parent_node, X)`` plus the edge ``(v, parent_node)``;
+* ``('merge', mask_a, mask_b)`` — tree of ``(v, X)`` is the union of the
+  trees of ``(v, mask_a)`` and ``(v, mask_b)``.
+
+The store also answers the queries the engines hammer in their inner
+loops: "which settled masks exist at node v" (tree merging) and "is the
+complement of X settled at v" (PrunedDP's complementary-pair merge).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["StateStore", "iter_bits", "popcount"]
+
+Backpointer = Tuple  # ('seed', i) | ('grow', u, w) | ('merge', m1, m2)
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield the set bit positions of ``mask`` in increasing order."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+try:
+    popcount = int.bit_count  # type: ignore[attr-defined]  # Python >= 3.10
+except AttributeError:  # pragma: no cover - Python 3.9 fallback
+
+    def popcount(mask: int) -> int:
+        return bin(mask).count("1")
+
+
+class StateStore:
+    """Settled DP states (the paper's ``D``) with tree reconstruction."""
+
+    __slots__ = ("_cost", "_backpointer", "_size", "_peak")
+
+    def __init__(self, num_nodes: int) -> None:
+        # Per-node dicts keep the merge scan ("all settled masks at v")
+        # allocation-free and O(#masks at v).
+        self._cost: List[Dict[int, float]] = [dict() for _ in range(num_nodes)]
+        self._backpointer: Dict[Tuple[int, int], Backpointer] = {}
+        self._size = 0
+        self._peak = 0
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def settle(self, node: int, mask: int, cost: float, backpointer: Backpointer) -> None:
+        """Record ``(node, mask)`` as settled with its derivation."""
+        bucket = self._cost[node]
+        if mask not in bucket:
+            self._size += 1
+            if self._size > self._peak:
+                self._peak = self._size
+        bucket[mask] = cost
+        self._backpointer[(node, mask)] = backpointer
+
+    def reopen(self, node: int, mask: int) -> None:
+        """Remove a settled state (safety net for inconsistent bounds)."""
+        if self._cost[node].pop(mask, None) is not None:
+            self._size -= 1
+        self._backpointer.pop((node, mask), None)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def contains(self, node: int, mask: int) -> bool:
+        return mask in self._cost[node]
+
+    def cost(self, node: int, mask: int) -> float:
+        """Settled cost; raises ``KeyError`` if not settled."""
+        return self._cost[node][mask]
+
+    def cost_or_none(self, node: int, mask: int) -> Optional[float]:
+        return self._cost[node].get(mask)
+
+    def masks_at(self, node: int) -> Dict[int, float]:
+        """All settled ``mask -> cost`` entries at ``node`` (live view)."""
+        return self._cost[node]
+
+    def backpointer(self, node: int, mask: int) -> Backpointer:
+        return self._backpointer[(node, mask)]
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def peak_size(self) -> int:
+        """High-water mark of settled states (memory accounting)."""
+        return self._peak
+
+    # ------------------------------------------------------------------
+    # Tree reconstruction
+    # ------------------------------------------------------------------
+    def tree_edges(
+        self,
+        node: int,
+        mask: int,
+        override: Optional[Tuple[int, int, Backpointer]] = None,
+    ) -> List[Tuple[int, int, float]]:
+        """Edges of the tree recorded for state ``(node, mask)``.
+
+        ``override`` lets the caller reconstruct a *pending* (not yet
+        settled) state: it supplies ``(node, mask, backpointer)`` for the
+        root of the derivation while all referenced sub-states must be
+        settled — which the engines guarantee, since a state is only
+        generated from settled parents.
+        """
+        edges: List[Tuple[int, int, float]] = []
+        if override is not None:
+            stack: List[Tuple[int, int, Optional[Backpointer]]] = [
+                (override[0], override[1], override[2])
+            ]
+        else:
+            stack = [(node, mask, None)]
+        while stack:
+            v, m, bp = stack.pop()
+            if bp is None:
+                bp = self._backpointer[(v, m)]
+            kind = bp[0]
+            if kind == "seed":
+                continue
+            if kind == "grow":
+                _, parent, weight = bp
+                edges.append((v, parent, weight))
+                stack.append((parent, m, None))
+            elif kind == "merge":
+                _, mask_a, mask_b = bp
+                stack.append((v, mask_a, None))
+                stack.append((v, mask_b, None))
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unknown backpointer kind {kind!r}")
+        return edges

@@ -1,0 +1,65 @@
+"""Classic (terminal-based) Steiner tree on top of the GST machinery.
+
+The parameterized DP the paper builds on "is a generalization of the
+well-known Dreyfus-Wagner algorithm for the traditional Steiner tree
+problem" — conversely, the traditional problem is the GST instance
+where every terminal forms its own singleton group.  This module
+exposes that reduction as a first-class API so the package doubles as
+a Steiner-tree solver.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from ..errors import QueryError
+from ..graph.graph import Graph
+from .result import GSTResult
+from .solver import solve_gst
+from .tree import SteinerTree
+
+__all__ = ["steiner_tree", "steiner_tree_weight"]
+
+_TERMINAL_PREFIX = "__terminal__"
+
+
+def steiner_tree(
+    graph: Graph,
+    terminals: Sequence[int],
+    *,
+    algorithm: str = "pruneddp++",
+    **solver_kwargs,
+) -> GSTResult:
+    """Minimum-weight tree connecting the given terminal *nodes*.
+
+    Reduction: attach a unique private label to each terminal and solve
+    the GST query over those labels (each group is a singleton, so a
+    covering tree is exactly a connecting tree).  The private labels
+    are attached to a shallow copy; the input graph is not modified.
+
+    Duplicate terminals are collapsed; a single terminal yields the
+    weight-0 single-node tree.
+    """
+    unique = list(dict.fromkeys(terminals))
+    if not unique:
+        raise QueryError("at least one terminal is required")
+    marked = graph.copy()
+    labels: List[str] = []
+    for i, node in enumerate(unique):
+        label = f"{_TERMINAL_PREFIX}{i}"
+        marked.add_labels(node, [label])  # validates the node id
+        labels.append(label)
+    result = solve_gst(marked, labels, algorithm=algorithm, **solver_kwargs)
+    # Trees reference node ids only, which are shared with `graph`;
+    # re-validate the tree against the original to be safe.
+    if result.tree is not None:
+        result.tree.validate(graph)
+        missing = [t for t in unique if t not in result.tree.nodes]
+        assert not missing, f"terminals not connected: {missing}"
+    result.labels = tuple(unique)  # report terminals, not private labels
+    return result
+
+
+def steiner_tree_weight(graph: Graph, terminals: Sequence[int]) -> float:
+    """Just the optimal connection weight."""
+    return steiner_tree(graph, terminals).weight

@@ -1,0 +1,54 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch a single type at their boundary.  The subclasses
+distinguish the three failure modes a Group Steiner Tree (GST) workload
+can hit: malformed graphs, malformed or unsatisfiable queries, and
+resource-limit interruptions.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "QueryError",
+    "InfeasibleQueryError",
+    "LimitExceededError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class GraphError(ReproError):
+    """A graph is structurally invalid for the requested operation.
+
+    Examples: referencing a node id that was never added, adding an edge
+    with a negative weight, or running a pruned solver on a graph with
+    non-positive edge weights (PrunedDP's optimal-tree decomposition
+    theorem requires strictly positive weights).
+    """
+
+
+class QueryError(ReproError):
+    """A query is malformed: empty, too many labels, or duplicated labels."""
+
+
+class InfeasibleQueryError(QueryError):
+    """No connected tree covering all query labels exists.
+
+    Raised when a query label occurs on no node of the graph, or when no
+    single connected component covers every query label.
+    """
+
+
+class LimitExceededError(ReproError):
+    """A configured resource limit (states, time) was exhausted.
+
+    Solvers normally do *not* raise this: hitting ``time_limit`` returns
+    the best feasible answer found so far (that is the whole point of a
+    progressive algorithm).  The error is reserved for hard limits such
+    as ``max_states`` with ``on_limit='raise'``.
+    """

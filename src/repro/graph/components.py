@@ -1,0 +1,114 @@
+"""Connectivity utilities.
+
+The paper assumes a connected graph ("if the graph is disconnected, we
+can solve the GST problem in each maximal connected component").  The DP
+solvers actually handle disconnection natively — edge growth can never
+cross components and merges require a shared root — but the query
+validator uses these helpers to *fail fast* when no single component
+covers every query label, and the facade uses them to restrict work to
+the relevant component.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .graph import Graph
+
+__all__ = [
+    "connected_components",
+    "component_ids",
+    "is_connected",
+    "component_covering_labels",
+    "components_covering_labels",
+]
+
+
+def component_ids(graph: Graph) -> List[int]:
+    """Label each node with a component id (0-based, BFS order)."""
+    n = graph.num_nodes
+    ids = [-1] * n
+    adjacency = graph.adjacency()
+    current = 0
+    for start in range(n):
+        if ids[start] != -1:
+            continue
+        ids[start] = current
+        stack = [start]
+        while stack:
+            u = stack.pop()
+            for v, _ in adjacency[u]:
+                if ids[v] == -1:
+                    ids[v] = current
+                    stack.append(v)
+        current += 1
+    return ids
+
+
+def connected_components(graph: Graph) -> List[List[int]]:
+    """Node lists of each connected component."""
+    ids = component_ids(graph)
+    count = max(ids) + 1 if ids else 0
+    components: List[List[int]] = [[] for _ in range(count)]
+    for node, cid in enumerate(ids):
+        components[cid].append(node)
+    return components
+
+
+def is_connected(graph: Graph) -> bool:
+    """Whether the graph is a single connected component (empty = True)."""
+    if graph.num_nodes == 0:
+        return True
+    ids = component_ids(graph)
+    return all(cid == 0 for cid in ids)
+
+
+def component_covering_labels(
+    graph: Graph, labels: Sequence
+) -> Optional[List[int]]:
+    """Pick one component containing at least one node per label.
+
+    Returns the node list of the smallest such component, or ``None``
+    when no component covers all labels (the query is infeasible).  When
+    several components qualify the smallest is returned — the GST
+    optimum lives in *some* qualifying component, so the caller should
+    solve each and keep the best; the facade does exactly that.
+    """
+    ids = component_ids(graph)
+    qualifying: Optional[Dict[int, int]] = None
+    for label in labels:
+        members = graph.nodes_with_label(label)
+        present = {ids[node] for node in members}
+        if qualifying is None:
+            qualifying = {cid: 0 for cid in present}
+        else:
+            qualifying = {cid: 0 for cid in qualifying if cid in present}
+        if not qualifying:
+            return None
+    if qualifying is None:  # empty label list
+        return None
+    sizes: Dict[int, int] = {}
+    for cid in ids:
+        if cid in qualifying:
+            sizes[cid] = sizes.get(cid, 0) + 1
+    best = min(sizes, key=sizes.get)
+    return [node for node, cid in enumerate(ids) if cid == best]
+
+
+def components_covering_labels(
+    graph: Graph, labels: Sequence
+) -> List[List[int]]:
+    """All components containing at least one node per label."""
+    ids = component_ids(graph)
+    count = max(ids) + 1 if ids else 0
+    qualifying = set(range(count))
+    for label in labels:
+        present = {ids[node] for node in graph.nodes_with_label(label)}
+        qualifying &= present
+        if not qualifying:
+            return []
+    buckets: List[List[int]] = [[] for _ in range(count)]
+    for node, cid in enumerate(ids):
+        if cid in qualifying:
+            buckets[cid].append(node)
+    return [bucket for bucket in buckets if bucket]

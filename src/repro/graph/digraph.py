@@ -1,0 +1,200 @@
+"""Directed weighted labelled graph.
+
+The paper formulates GST on undirected graphs, but its lineage — DPBF
+(Ding et al.) and the BANKS/BLINKS systems — works on *directed* tuple
+graphs where an answer is a rooted tree with directed paths from the
+root to every keyword.  :class:`DiGraph` is the substrate for that
+extension (see :mod:`repro.core.directed`).
+
+Mirrors :class:`~repro.graph.graph.Graph` where the semantics coincide;
+adjacency is kept in both directions (out-lists drive answer
+construction, in-lists drive the backward Dijkstras and the DP's
+edge-growing step, which moves the root *backward* along an edge).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Optional, Tuple
+
+from ..errors import GraphError
+
+__all__ = ["DiGraph"]
+
+Label = Hashable
+
+
+class DiGraph:
+    """Directed graph with weighted edges and labelled nodes."""
+
+    __slots__ = (
+        "_out",
+        "_in",
+        "_labels",
+        "_groups",
+        "_names",
+        "_name_to_id",
+        "_num_edges",
+        "_min_weight",
+    )
+
+    def __init__(self) -> None:
+        self._out: List[List[Tuple[int, float]]] = []
+        self._in: List[List[Tuple[int, float]]] = []
+        self._labels: List[FrozenSet[Label]] = []
+        self._groups: Dict[Label, List[int]] = {}
+        self._names: List[Optional[Hashable]] = []
+        self._name_to_id: Dict[Hashable, int] = {}
+        self._num_edges = 0
+        self._min_weight = float("inf")
+
+    # ------------------------------------------------------------------
+    def add_node(
+        self, labels: Iterable[Label] = (), name: Optional[Hashable] = None
+    ) -> int:
+        node = len(self._out)
+        if name is not None:
+            if name in self._name_to_id:
+                raise GraphError(f"duplicate node name: {name!r}")
+            self._name_to_id[name] = node
+        self._out.append([])
+        self._in.append([])
+        label_set = frozenset(labels)
+        self._labels.append(label_set)
+        self._names.append(name)
+        for label in label_set:
+            self._groups.setdefault(label, []).append(node)
+        return node
+
+    def add_labels(self, node: int, labels: Iterable[Label]) -> None:
+        self._check_node(node)
+        new = frozenset(labels) - self._labels[node]
+        if not new:
+            return
+        self._labels[node] = self._labels[node] | new
+        for label in new:
+            self._groups.setdefault(label, []).append(node)
+
+    def add_edge(self, source: int, target: int, weight: float = 1.0) -> None:
+        """Directed edge ``source → target``; parallels keep the lighter."""
+        self._check_node(source)
+        self._check_node(target)
+        if source == target:
+            raise GraphError(f"self-loop on node {source} is not allowed")
+        weight = float(weight)
+        if not (weight >= 0.0) or weight == float("inf"):
+            raise GraphError(f"edge weight must be finite and >= 0, got {weight!r}")
+        for i, (node, old) in enumerate(self._out[source]):
+            if node == target:
+                if weight < old:
+                    self._out[source][i] = (target, weight)
+                    for j, (back, _) in enumerate(self._in[target]):
+                        if back == source:
+                            self._in[target][j] = (source, weight)
+                            break
+                    if weight < self._min_weight:
+                        self._min_weight = weight
+                return
+        self._out[source].append((target, weight))
+        self._in[target].append((source, weight))
+        self._num_edges += 1
+        if weight < self._min_weight:
+            self._min_weight = weight
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self._out)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    @property
+    def min_edge_weight(self) -> float:
+        return self._min_weight
+
+    def nodes(self) -> range:
+        return range(len(self._out))
+
+    def out_neighbors(self, node: int) -> List[Tuple[int, float]]:
+        self._check_node(node)
+        return self._out[node]
+
+    def in_neighbors(self, node: int) -> List[Tuple[int, float]]:
+        self._check_node(node)
+        return self._in[node]
+
+    def out_adjacency(self) -> List[List[Tuple[int, float]]]:
+        return self._out
+
+    def in_adjacency(self) -> List[List[Tuple[int, float]]]:
+        return self._in
+
+    def edges(self) -> Iterator[Tuple[int, int, float]]:
+        """Yield every directed edge once as ``(source, target, weight)``."""
+        for source, out in enumerate(self._out):
+            for target, weight in out:
+                yield (source, target, weight)
+
+    def edge_weight(self, source: int, target: int) -> float:
+        self._check_node(source)
+        self._check_node(target)
+        for node, weight in self._out[source]:
+            if node == target:
+                return weight
+        raise GraphError(f"no edge {source} -> {target}")
+
+    def has_edge(self, source: int, target: int) -> bool:
+        self._check_node(source)
+        self._check_node(target)
+        return any(node == target for node, _ in self._out[source])
+
+    # ------------------------------------------------------------------
+    def labels_of(self, node: int) -> FrozenSet[Label]:
+        self._check_node(node)
+        return self._labels[node]
+
+    def has_label(self, node: int, label: Label) -> bool:
+        self._check_node(node)
+        return label in self._labels[node]
+
+    def nodes_with_label(self, label: Label):
+        return self._groups.get(label, ())
+
+    def all_labels(self) -> Iterator[Label]:
+        return iter(self._groups)
+
+    def name_of(self, node: int) -> Optional[Hashable]:
+        self._check_node(node)
+        return self._names[node]
+
+    def node_by_name(self, name: Hashable) -> int:
+        try:
+            return self._name_to_id[name]
+        except KeyError:
+            raise GraphError(f"unknown node name: {name!r}") from None
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check out/in list symmetry and group coherence."""
+        out_count = sum(len(out) for out in self._out)
+        in_count = sum(len(inn) for inn in self._in)
+        if out_count != in_count or out_count != self._num_edges:
+            raise GraphError("edge counters out of sync")
+        for source, out in enumerate(self._out):
+            for target, weight in out:
+                if (source, weight) not in self._in[target]:
+                    raise GraphError(
+                        f"missing reverse entry for edge {source}->{target}"
+                    )
+        for label, group in self._groups.items():
+            for node in group:
+                if label not in self._labels[node]:
+                    raise GraphError(f"group index broken for {label!r}")
+
+    def _check_node(self, node: int) -> None:
+        if not isinstance(node, int) or not 0 <= node < len(self._out):
+            raise GraphError(f"invalid node id: {node!r}")
+
+    def __repr__(self) -> str:
+        return f"DiGraph(n={self.num_nodes}, m={self.num_edges})"

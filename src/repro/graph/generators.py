@@ -1,0 +1,353 @@
+"""Synthetic graph generators standing in for the paper's datasets.
+
+The paper evaluates on four real graphs that are unavailable offline and
+far too large for a pure-Python reproduction (DBLP 15.8M nodes, IMDB
+30.4M, LiveJournal 4.8M, RoadUSA 23.9M).  Each generator below produces
+a scaled graph preserving the structural property that drives the
+corresponding experiment:
+
+* :func:`dblp_like` — bipartite author/paper graph with citations;
+  labels are keywords (Zipf-assigned) plus controlled-frequency query
+  label pools.  Mirrors the keyword-search workload of Figs 4/6/8-12.
+* :func:`imdb_like` — movie/person bipartite graph (actors, directors);
+  same role as DBLP but denser star patterns (Figs 5/7, Table 3).
+* :func:`powerlaw` — preferential-attachment graph with heavy-tailed
+  degrees and small diameter (LiveJournal stand-in, Fig 14).
+* :func:`road_grid` — perturbed lattice: near-planar, degree ≤ 4, huge
+  diameter (RoadUSA stand-in, Fig 15).
+
+Every generator takes ``label_frequency`` (the paper's ``kwf``: average
+number of nodes carrying each query label) and ``num_query_labels`` (the
+size of the pool queries are drawn from) so the benchmark harness can
+sweep ``kwf`` exactly like Exp-2.  Query-pool labels are strings
+``"q0".."q{L-1}"``; background labels (keywords, names) coexist so the
+label index is realistically crowded.
+
+All generators are deterministic given ``seed``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional, Sequence
+
+from .graph import Graph
+
+__all__ = [
+    "attach_query_labels",
+    "dblp_like",
+    "imdb_like",
+    "powerlaw",
+    "road_grid",
+    "random_graph",
+    "QUERY_LABEL_PREFIX",
+]
+
+QUERY_LABEL_PREFIX = "q"
+
+
+def query_label_pool(num_query_labels: int) -> List[str]:
+    """The names of the controlled-frequency labels queries draw from."""
+    return [f"{QUERY_LABEL_PREFIX}{i}" for i in range(num_query_labels)]
+
+
+def attach_query_labels(
+    graph: Graph,
+    num_query_labels: int,
+    label_frequency: int,
+    rng: random.Random,
+    nodes: Optional[Sequence[int]] = None,
+) -> List[str]:
+    """Attach ``num_query_labels`` labels, each to ``label_frequency`` nodes.
+
+    This reproduces the paper's query generation knob ``kwf`` exactly:
+    every query-pool label appears on (close to) ``label_frequency``
+    distinct nodes, sampled uniformly from ``nodes`` (default: all).
+    Returns the pool of label names.
+    """
+    if nodes is None:
+        nodes = range(graph.num_nodes)
+    nodes = list(nodes)
+    if not nodes:
+        raise ValueError("cannot attach labels to an empty node set")
+    freq = min(label_frequency, len(nodes))
+    pool = query_label_pool(num_query_labels)
+    for label in pool:
+        for node in rng.sample(nodes, freq):
+            graph.add_labels(node, [label])
+    return pool
+
+
+def _zipf_keyword(rng: random.Random, vocabulary: int, exponent: float = 1.1) -> int:
+    """Sample a keyword id with a Zipf-ish distribution via inverse CDF."""
+    # Rejection-free approximation: u^( -1/(exponent-1) ) style tail is
+    # overkill here; a simple power transform gives the heavy head we need.
+    u = rng.random()
+    rank = int(vocabulary * (u ** exponent))
+    return min(rank, vocabulary - 1)
+
+
+def dblp_like(
+    num_papers: int = 600,
+    num_authors: int = 400,
+    *,
+    citations_per_paper: float = 2.0,
+    authors_per_paper: float = 2.5,
+    keyword_vocabulary: int = 200,
+    keywords_per_paper: int = 3,
+    num_query_labels: int = 40,
+    label_frequency: int = 8,
+    seed: int = 0,
+) -> Graph:
+    """Scaled synthetic DBLP: papers cite papers, authors write papers.
+
+    Node kinds carry a ``kind:paper`` / ``kind:author`` label; paper
+    nodes additionally carry Zipf-sampled ``kw:<id>`` keywords and author
+    nodes carry their ``author:<id>`` name label — this mirrors how the
+    keyword-search application labels a tuple graph.  Edge weights follow
+    the BANKS convention ``log2(1 + degree)`` applied after construction
+    is too circular, so we use 1.0 for authorship and 2.0 for citations
+    (relationship strength: direct authorship is stronger), which keeps
+    the optimal trees interpretable in the case studies.
+    """
+    rng = random.Random(seed)
+    graph = Graph()
+    papers = [
+        graph.add_node(labels=["kind:paper"], name=("paper", i))
+        for i in range(num_papers)
+    ]
+    authors = [
+        graph.add_node(
+            labels=["kind:author", f"author:{i}"], name=("author", i)
+        )
+        for i in range(num_authors)
+    ]
+    for i, paper in enumerate(papers):
+        keywords = {
+            f"kw:{_zipf_keyword(rng, keyword_vocabulary)}"
+            for _ in range(keywords_per_paper)
+        }
+        graph.add_labels(paper, keywords)
+        # Citations: papers cite (mostly earlier) papers — preferential
+        # to low ids, giving a DBLP-ish citation skew.
+        n_cites = _poisson(rng, citations_per_paper)
+        for _ in range(n_cites):
+            if i == 0:
+                break
+            target = papers[_skewed_index(rng, i)]
+            if target != paper:
+                graph.add_edge(paper, target, 2.0)
+        # Authorship.
+        n_auth = max(1, _poisson(rng, authors_per_paper))
+        for author in rng.sample(authors, min(n_auth, num_authors)):
+            graph.add_edge(paper, author, 1.0)
+    _connect_components(graph, rng, weight=2.0)
+    attach_query_labels(graph, num_query_labels, label_frequency, rng)
+    return graph
+
+
+def imdb_like(
+    num_movies: int = 700,
+    num_people: int = 500,
+    *,
+    cast_per_movie: float = 4.0,
+    genre_vocabulary: int = 60,
+    num_query_labels: int = 40,
+    label_frequency: int = 8,
+    seed: int = 1,
+) -> Graph:
+    """Scaled synthetic IMDB: movies linked to actors/directors.
+
+    People are reused across movies with preferential attachment
+    (prolific actors appear in many movies) which produces the large
+    star patterns that make IMDB the harder dataset in the paper.
+    """
+    rng = random.Random(seed)
+    graph = Graph()
+    movies = [
+        graph.add_node(
+            labels=["kind:movie", f"genre:{_zipf_keyword(rng, genre_vocabulary)}"],
+            name=("movie", i),
+        )
+        for i in range(num_movies)
+    ]
+    people = [
+        graph.add_node(
+            labels=["kind:person", f"person:{i}"], name=("person", i)
+        )
+        for i in range(num_people)
+    ]
+    # Preferential attachment over people: track a repeated-node urn.
+    urn: List[int] = list(people)
+    for movie in movies:
+        cast_size = max(1, _poisson(rng, cast_per_movie))
+        chosen = set()
+        for _ in range(cast_size):
+            person = urn[rng.randrange(len(urn))]
+            if person in chosen:
+                continue
+            chosen.add(person)
+            graph.add_edge(movie, person, 1.0)
+            urn.append(person)
+    _connect_components(graph, rng, weight=2.0)
+    attach_query_labels(graph, num_query_labels, label_frequency, rng)
+    return graph
+
+
+def powerlaw(
+    num_nodes: int = 1500,
+    *,
+    edges_per_node: int = 3,
+    num_query_labels: int = 40,
+    label_frequency: int = 8,
+    weight_range: Sequence[float] = (1.0, 4.0),
+    seed: int = 2,
+) -> Graph:
+    """Preferential-attachment graph (LiveJournal stand-in).
+
+    Barabási–Albert style: each new node connects to ``edges_per_node``
+    existing nodes sampled proportionally to degree.  Heavy-tailed
+    degrees and a small diameter — the topology on which the paper's
+    tour-based bounds shine (Fig 14).
+    """
+    if num_nodes < edges_per_node + 1:
+        raise ValueError("num_nodes must exceed edges_per_node")
+    rng = random.Random(seed)
+    graph = Graph()
+    for i in range(num_nodes):
+        graph.add_node(name=("v", i))
+    lo, hi = weight_range
+    urn: List[int] = []
+    # Seed clique over the first m+1 nodes.
+    core = edges_per_node + 1
+    for u in range(core):
+        for v in range(u + 1, core):
+            graph.add_edge(u, v, rng.uniform(lo, hi))
+            urn.extend((u, v))
+    for u in range(core, num_nodes):
+        chosen = set()
+        while len(chosen) < edges_per_node:
+            v = urn[rng.randrange(len(urn))]
+            if v != u:
+                chosen.add(v)
+        for v in chosen:
+            graph.add_edge(u, v, rng.uniform(lo, hi))
+            urn.extend((u, v))
+    attach_query_labels(graph, num_query_labels, label_frequency, rng)
+    return graph
+
+
+def road_grid(
+    rows: int = 40,
+    cols: int = 40,
+    *,
+    num_query_labels: int = 40,
+    label_frequency: int = 8,
+    weight_range: Sequence[float] = (1.0, 3.0),
+    diagonal_probability: float = 0.05,
+    seed: int = 3,
+) -> Graph:
+    """Perturbed lattice (RoadUSA stand-in): near-planar, huge diameter.
+
+    Degree ≤ 4 (plus sparse diagonals standing in for highway ramps),
+    uniform weights — the topology where one-label and tour-based lower
+    bounds nearly coincide, reproducing Fig 15's small PrunedDP++ vs
+    PrunedDP+ gap.
+    """
+    rng = random.Random(seed)
+    graph = Graph()
+    ids = [[graph.add_node(name=("r", r, c)) for c in range(cols)] for r in range(rows)]
+    lo, hi = weight_range
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                graph.add_edge(ids[r][c], ids[r][c + 1], rng.uniform(lo, hi))
+            if r + 1 < rows:
+                graph.add_edge(ids[r][c], ids[r + 1][c], rng.uniform(lo, hi))
+            if (
+                r + 1 < rows
+                and c + 1 < cols
+                and rng.random() < diagonal_probability
+            ):
+                graph.add_edge(ids[r][c], ids[r + 1][c + 1], rng.uniform(lo, hi) * 1.4)
+    attach_query_labels(graph, num_query_labels, label_frequency, rng)
+    return graph
+
+
+def random_graph(
+    num_nodes: int,
+    num_edges: int,
+    *,
+    num_query_labels: int = 6,
+    label_frequency: int = 3,
+    weight_range: Sequence[float] = (1.0, 10.0),
+    connected: bool = True,
+    seed: int = 0,
+) -> Graph:
+    """Uniform random graph for tests and fuzzing.
+
+    When ``connected`` is true a random spanning tree is laid down first
+    so every query is feasible.
+    """
+    rng = random.Random(seed)
+    graph = Graph()
+    for i in range(num_nodes):
+        graph.add_node(name=("n", i))
+    lo, hi = weight_range
+    added = 0
+    if connected and num_nodes > 1:
+        order = list(range(num_nodes))
+        rng.shuffle(order)
+        for i in range(1, num_nodes):
+            u = order[i]
+            v = order[rng.randrange(i)]
+            graph.add_edge(u, v, rng.uniform(lo, hi))
+            added += 1
+    attempts = 0
+    max_attempts = 20 * max(num_edges, 1) + 100
+    while added < num_edges and attempts < max_attempts:
+        attempts += 1
+        u = rng.randrange(num_nodes)
+        v = rng.randrange(num_nodes)
+        if u == v or graph.has_edge(u, v):
+            continue
+        graph.add_edge(u, v, rng.uniform(lo, hi))
+        added += 1
+    attach_query_labels(graph, num_query_labels, label_frequency, rng)
+    return graph
+
+
+# ----------------------------------------------------------------------
+# Internal helpers
+# ----------------------------------------------------------------------
+def _poisson(rng: random.Random, lam: float) -> int:
+    """Knuth's Poisson sampler (lambda is small everywhere we call it)."""
+    threshold = math.exp(-lam)
+    k = 0
+    p = 1.0
+    while True:
+        p *= rng.random()
+        if p <= threshold:
+            return k
+        k += 1
+
+
+def _skewed_index(rng: random.Random, upper: int) -> int:
+    """Index in [0, upper) biased toward 0 (older papers get more citations)."""
+    return int(upper * rng.random() * rng.random())
+
+
+def _connect_components(graph: Graph, rng: random.Random, weight: float) -> None:
+    """Stitch stray components onto the giant one so queries are feasible."""
+    from .components import connected_components
+
+    components = connected_components(graph)
+    if len(components) <= 1:
+        return
+    components.sort(key=len, reverse=True)
+    giant = components[0]
+    for other in components[1:]:
+        u = other[rng.randrange(len(other))]
+        v = giant[rng.randrange(len(giant))]
+        graph.add_edge(u, v, weight)

@@ -1,0 +1,87 @@
+"""Plain-text graph persistence.
+
+Two tab-separated files describe a graph the way the paper's datasets
+are usually distributed:
+
+* ``<stem>.edges``  — one ``u<TAB>v<TAB>weight`` line per edge;
+* ``<stem>.labels`` — one ``node<TAB>label1<TAB>label2...`` line per
+  labelled node.
+
+Node ids are the dense integers of :class:`~repro.graph.graph.Graph`;
+labels are stored verbatim as strings (so non-string labels round-trip
+as their ``str()`` form — the benchmark datasets only use strings).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Tuple
+
+from ..errors import GraphError
+from .graph import Graph
+
+__all__ = ["save_graph", "load_graph"]
+
+
+def save_graph(graph: Graph, stem: str) -> Tuple[str, str]:
+    """Write ``<stem>.edges`` and ``<stem>.labels``; returns both paths."""
+    edges_path = stem + ".edges"
+    labels_path = stem + ".labels"
+    with open(edges_path, "w", encoding="utf-8") as handle:
+        handle.write(f"# nodes\t{graph.num_nodes}\n")
+        for u, v, weight in graph.edges():
+            handle.write(f"{u}\t{v}\t{weight!r}\n")
+    with open(labels_path, "w", encoding="utf-8") as handle:
+        for node in graph.nodes():
+            labels = graph.labels_of(node)
+            if labels:
+                joined = "\t".join(sorted(str(label) for label in labels))
+                handle.write(f"{node}\t{joined}\n")
+    return edges_path, labels_path
+
+
+def load_graph(stem: str) -> Graph:
+    """Load a graph previously written by :func:`save_graph`."""
+    edges_path = stem + ".edges"
+    labels_path = stem + ".labels"
+    if not os.path.exists(edges_path):
+        raise GraphError(f"missing edge file: {edges_path}")
+    graph = Graph()
+    declared_nodes = 0
+    edges = []
+    with open(edges_path, "r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, 1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith("#"):
+                parts = line[1:].split("\t")
+                if parts and parts[0].strip() == "nodes":
+                    declared_nodes = int(parts[1])
+                continue
+            parts = line.split("\t")
+            if len(parts) != 3:
+                raise GraphError(f"{edges_path}:{line_no}: malformed edge line")
+            u, v, weight = int(parts[0]), int(parts[1]), float(parts[2])
+            edges.append((u, v, weight))
+    max_node = declared_nodes - 1
+    for u, v, _ in edges:
+        max_node = max(max_node, u, v)
+    for _ in range(max_node + 1):
+        graph.add_node()
+    for u, v, weight in edges:
+        graph.add_edge(u, v, weight)
+    if os.path.exists(labels_path):
+        with open(labels_path, "r", encoding="utf-8") as handle:
+            for line_no, line in enumerate(handle, 1):
+                line = line.rstrip("\n")
+                if not line or line.startswith("#"):
+                    continue
+                parts = line.split("\t")
+                node = int(parts[0])
+                if node > max_node:
+                    raise GraphError(
+                        f"{labels_path}:{line_no}: label for unknown node {node}"
+                    )
+                graph.add_labels(node, parts[1:])
+    return graph

@@ -1,0 +1,76 @@
+"""Minimum spanning tree over explicit edge sets (Kruskal).
+
+The feasible-tree construction of Algorithms 1/2/4 unions the DP state's
+tree with shortest paths to the missing labels and then takes the MST of
+the united edge set (``MST(T'(v, X̄) ∪ T(v, X))`` in the paper).  The
+input is therefore a small explicit edge list, not the whole graph, so
+Kruskal with a union-find is the right tool.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from .union_find import UnionFind
+
+__all__ = ["kruskal_mst", "minimum_spanning_forest", "is_tree"]
+
+EdgeTuple = Tuple[int, int, float]
+
+
+def _normalize(edges: Iterable[EdgeTuple]) -> List[EdgeTuple]:
+    """Deduplicate undirected edges, keeping the minimum weight per pair."""
+    best: Dict[Tuple[int, int], float] = {}
+    for u, v, weight in edges:
+        if u == v:
+            continue
+        key = (u, v) if u < v else (v, u)
+        old = best.get(key)
+        if old is None or weight < old:
+            best[key] = weight
+    return [(u, v, w) for (u, v), w in best.items()]
+
+
+def minimum_spanning_forest(edges: Iterable[EdgeTuple]) -> List[EdgeTuple]:
+    """Kruskal over an explicit edge list; returns MST edges per component.
+
+    Nodes are whatever endpoints appear in ``edges``.  Duplicate and
+    reversed edges are collapsed to their cheapest copy first.
+    """
+    unique = _normalize(edges)
+    unique.sort(key=lambda e: e[2])
+    uf = UnionFind()
+    tree: List[EdgeTuple] = []
+    for u, v, weight in unique:
+        if uf.union(u, v):
+            tree.append((u, v, weight))
+    return tree
+
+
+def kruskal_mst(edges: Iterable[EdgeTuple]) -> Tuple[List[EdgeTuple], float]:
+    """MST edges and total weight of the (assumed connected) edge set.
+
+    The caller is responsible for connectivity; if the input spans more
+    than one component the result is the spanning *forest* and its
+    weight, which is still what the feasible-solution builder wants when
+    it later prunes unreachable branches.
+    """
+    tree = minimum_spanning_forest(edges)
+    return tree, sum(w for _, _, w in tree)
+
+
+def is_tree(edges: Sequence[EdgeTuple]) -> bool:
+    """Whether the edge set forms a single tree (connected, acyclic).
+
+    An empty edge set counts as a (single-node) tree.
+    """
+    if not edges:
+        return True
+    uf = UnionFind()
+    nodes = set()
+    for u, v, _ in edges:
+        nodes.add(u)
+        nodes.add(v)
+        if not uf.union(u, v):
+            return False  # cycle
+    return len(edges) == len(nodes) - 1

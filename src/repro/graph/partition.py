@@ -1,0 +1,131 @@
+"""Graph partitioning (the substrate of BLINKS' bi-level index).
+
+BLINKS partitions the graph into blocks (METIS in the paper) and keeps
+block-level summaries that lower-bound keyword distances.  METIS is
+unavailable offline; BFS region growing produces connected, bounded
+blocks with the property the index needs (any inter-block move pays at
+least the cheapest boundary edge), which is all the lower bounds use.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Sequence, Tuple
+
+from .graph import Graph
+
+__all__ = ["Partition", "bfs_partition"]
+
+
+class Partition:
+    """A node → block assignment plus the weighted block-level graph."""
+
+    __slots__ = ("graph", "assignment", "blocks", "block_adjacency")
+
+    def __init__(self, graph: Graph, assignment: List[int]) -> None:
+        if len(assignment) != graph.num_nodes:
+            raise ValueError("assignment length must equal node count")
+        self.graph = graph
+        self.assignment = assignment
+        count = max(assignment) + 1 if assignment else 0
+        self.blocks: List[List[int]] = [[] for _ in range(count)]
+        for node, block in enumerate(assignment):
+            self.blocks[block].append(node)
+        # Block graph: between two adjacent blocks keep the *minimum*
+        # crossing-edge weight — an admissible per-hop cost.
+        adjacency: List[Dict[int, float]] = [dict() for _ in range(count)]
+        for u, v, w in graph.edges():
+            bu, bv = assignment[u], assignment[v]
+            if bu == bv:
+                continue
+            old = adjacency[bu].get(bv)
+            if old is None or w < old:
+                adjacency[bu][bv] = w
+                adjacency[bv][bu] = w
+        self.block_adjacency = adjacency
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.blocks)
+
+    def block_of(self, node: int) -> int:
+        return self.assignment[node]
+
+    def portals(self, block: int) -> List[int]:
+        """Boundary nodes of a block (incident to a crossing edge)."""
+        members = self.blocks[block]
+        result = []
+        for node in members:
+            for neighbor, _ in self.graph.neighbors(node):
+                if self.assignment[neighbor] != block:
+                    result.append(node)
+                    break
+        return result
+
+    def block_distances(self, source_blocks: Sequence[int]) -> List[float]:
+        """Multi-source Dijkstra over the block graph.
+
+        ``result[b]`` lower-bounds the cost of reaching any node of a
+        source block from any node of block ``b`` (every block change
+        on a real path costs at least the block-graph edge).
+        """
+        from heapq import heappop, heappush
+
+        dist = [float("inf")] * self.num_blocks
+        heap: List[Tuple[float, int]] = []
+        for block in source_blocks:
+            if dist[block] > 0.0:
+                dist[block] = 0.0
+                heappush(heap, (0.0, block))
+        while heap:
+            d, block = heappop(heap)
+            if d > dist[block]:
+                continue
+            for neighbor, weight in self.block_adjacency[block].items():
+                nd = d + weight
+                if nd < dist[neighbor]:
+                    dist[neighbor] = nd
+                    heappush(heap, (nd, neighbor))
+        return dist
+
+    def validate(self) -> None:
+        """Check structural invariants (tests)."""
+        seen = 0
+        for block_id, members in enumerate(self.blocks):
+            for node in members:
+                if self.assignment[node] != block_id:
+                    raise AssertionError("assignment/blocks mismatch")
+                seen += 1
+        if seen != self.graph.num_nodes:
+            raise AssertionError("nodes missing from blocks")
+
+
+def bfs_partition(graph: Graph, block_size: int) -> Partition:
+    """Grow connected blocks of at most ``block_size`` nodes by BFS.
+
+    Every node lands in exactly one block; blocks are connected in the
+    original graph (when their seed's component is large enough).
+    """
+    if block_size < 1:
+        raise ValueError("block_size must be >= 1")
+    n = graph.num_nodes
+    assignment = [-1] * n
+    adjacency = graph.adjacency()
+    next_block = 0
+    for start in range(n):
+        if assignment[start] != -1:
+            continue
+        queue = deque([start])
+        assignment[start] = next_block
+        size = 1
+        while queue and size < block_size:
+            node = queue.popleft()
+            for neighbor, _ in adjacency[node]:
+                if assignment[neighbor] == -1:
+                    assignment[neighbor] = next_block
+                    size += 1
+                    queue.append(neighbor)
+                    if size >= block_size:
+                        break
+        next_block += 1
+    return Partition(graph, assignment)

@@ -1,0 +1,205 @@
+"""Dijkstra shortest paths, including the paper's virtual-node variants.
+
+The paper's preprocessing (Section 3.1) attaches, for each query label
+``p``, a virtual node ``ṽ_p`` connected with zero-weight edges to every
+node of the group ``V_p``, then runs single-source Dijkstra from ``ṽ_p``.
+That is exactly a *multi-source* Dijkstra from ``V_p`` with all source
+distances zero, which is what :func:`multi_source_dijkstra` computes —
+no materialized virtual node needed.
+
+Section 4.1 additionally needs distances between virtual nodes in the
+*label-enhanced graph* where **all** virtual edges are present
+simultaneously (so a route may "teleport" for free between two nodes
+sharing a label).  :func:`label_enhanced_distances` computes those
+pairwise virtual-node distances without materializing the enhanced
+graph either: a virtual node ``ṽ_q`` is reached at cost
+``min_{u in V_q} dist(u)``, and leaving it re-seeds every node of
+``V_q`` at that cost.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .graph import Graph
+
+__all__ = [
+    "dijkstra",
+    "multi_source_dijkstra",
+    "reconstruct_path",
+    "path_edges_to_source",
+    "label_enhanced_distances",
+]
+
+INF = float("inf")
+
+
+def dijkstra(
+    graph: Graph,
+    source: int,
+    *,
+    targets: Optional[Iterable[int]] = None,
+) -> Tuple[List[float], List[int]]:
+    """Single-source Dijkstra.
+
+    Returns ``(dist, parent)`` where ``parent[v]`` is the predecessor of
+    ``v`` on a shortest path from ``source`` (``-1`` for the source and
+    unreached nodes).  If ``targets`` is given the search stops early
+    once all targets are settled.
+    """
+    return multi_source_dijkstra(graph, [source], targets=targets)
+
+
+def multi_source_dijkstra(
+    graph: Graph,
+    sources: Sequence[int],
+    *,
+    targets: Optional[Iterable[int]] = None,
+) -> Tuple[List[float], List[int]]:
+    """Dijkstra from a set of sources, all starting at distance 0.
+
+    This is the paper's virtual-node search: the virtual node ``ṽ_p`` is
+    connected to every node of ``V_p`` with weight 0, so
+    ``dist(v, ṽ_p) = min_{u in V_p} dist(v, u)``.
+
+    ``parent[v]`` points one hop toward the nearest source; walking
+    parents from ``v`` reproduces the shortest path the feasible-tree
+    construction unions together.
+    """
+    n = graph.num_nodes
+    dist: List[float] = [INF] * n
+    parent: List[int] = [-1] * n
+    adjacency = graph.adjacency()
+
+    heap: List[Tuple[float, int]] = []
+    for source in sources:
+        if not 0 <= source < n:
+            raise IndexError(f"source {source} out of range")
+        if dist[source] != 0.0:
+            dist[source] = 0.0
+            heappush(heap, (0.0, source))
+
+    remaining = set(targets) if targets is not None else None
+    if remaining is not None:
+        remaining = {t for t in remaining if dist[t] != 0.0}
+
+    while heap:
+        d, u = heappop(heap)
+        if d > dist[u]:
+            continue  # stale entry
+        if remaining is not None:
+            remaining.discard(u)
+            if not remaining:
+                break
+        for v, weight in adjacency[u]:
+            nd = d + weight
+            if nd < dist[v]:
+                dist[v] = nd
+                parent[v] = u
+                heappush(heap, (nd, v))
+    return dist, parent
+
+
+def reconstruct_path(parent: Sequence[int], node: int) -> List[int]:
+    """Walk ``parent`` pointers from ``node`` back to a source.
+
+    Returns the node sequence ``[node, ..., source]``.  The caller must
+    ensure ``node`` was reached (``dist[node] < inf``), otherwise the
+    result is just ``[node]``.
+    """
+    path = [node]
+    current = node
+    seen = {node}
+    while parent[current] != -1:
+        current = parent[current]
+        if current in seen:  # pragma: no cover - corrupted parent array
+            raise ValueError("cycle in parent pointers")
+        seen.add(current)
+        path.append(current)
+    return path
+
+
+def path_edges_to_source(
+    parent: Sequence[int], node: int
+) -> List[Tuple[int, int]]:
+    """Edges (as ``(u, v)`` pairs) along the parent walk from ``node``."""
+    edges: List[Tuple[int, int]] = []
+    current = node
+    while parent[current] != -1:
+        nxt = parent[current]
+        edges.append((current, nxt))
+        current = nxt
+    return edges
+
+
+def label_enhanced_distances(
+    graph: Graph,
+    groups: Sequence[Sequence[int]],
+) -> List[List[float]]:
+    """All-pairs distances between virtual label nodes, Section 4.1 style.
+
+    ``groups[i]`` is the node set ``V_{p_i}`` of the i-th query label.
+    Returns a ``k × k`` matrix ``D`` with ``D[i][j] = dist(ṽ_i, ṽ_j)`` in
+    the *label-enhanced* graph (every virtual node present at once, each
+    attached with zero-weight edges).
+
+    Implementation: one Dijkstra per source label over the original
+    graph, augmented with "teleport" relaxations — whenever a node of
+    group ``q`` is settled at distance ``d``, the virtual node ``ṽ_q``
+    is reached at ``d``, and all other members of ``V_q`` are relaxed to
+    ``d``.  This matches Dijkstra on the enhanced graph exactly.
+    """
+    k = len(groups)
+    n = graph.num_nodes
+    adjacency = graph.adjacency()
+
+    # node -> list of group indexes it belongs to
+    membership: List[List[int]] = [[] for _ in range(n)]
+    for gi, members in enumerate(groups):
+        for node in members:
+            membership[node].append(gi)
+
+    result: List[List[float]] = []
+    for src in range(k):
+        dist: List[float] = [INF] * n
+        group_dist: List[float] = [INF] * k
+        group_expanded = [False] * k
+        group_dist[src] = 0.0
+
+        heap: List[Tuple[float, int]] = []
+        for node in groups[src]:
+            if dist[node] > 0.0:
+                dist[node] = 0.0
+                heappush(heap, (0.0, node))
+
+        while heap:
+            d, u = heappop(heap)
+            if d > dist[u]:
+                continue
+            # Settle u: record/relax every virtual node u belongs to.
+            for gi in membership[u]:
+                if d < group_dist[gi]:
+                    group_dist[gi] = d
+                if not group_expanded[gi]:
+                    group_expanded[gi] = True
+                    # Teleport: every member of group gi is reachable at d.
+                    for other in groups[gi]:
+                        if d < dist[other]:
+                            dist[other] = d
+                            heappush(heap, (d, other))
+            for v, weight in adjacency[u]:
+                nd = d + weight
+                if nd < dist[v]:
+                    dist[v] = nd
+                    heappush(heap, (nd, v))
+
+        # A group may be unreachable (disconnected graph): keep inf.
+        result.append(group_dist)
+    # Symmetrize against floating noise (the metric is symmetric).
+    for i in range(k):
+        for j in range(i + 1, k):
+            best = min(result[i][j], result[j][i])
+            result[i][j] = best
+            result[j][i] = best
+    return result

@@ -1,0 +1,238 @@
+"""Dependency-free SVG rendering of answer trees and progressive curves.
+
+The paper's case studies (Figs 11/12/17/18) are tree drawings and its
+core evaluation (Fig 10) is a UB/LB-vs-time chart; this module produces
+both as standalone SVG files so a reproduction report can embed real
+vector figures without a plotting stack.
+
+* :func:`tree_to_svg` — layered tree drawing (root on top, children
+  fanned below), node boxes carrying names/labels, edges annotated
+  with weights;
+* :func:`trace_to_svg` — log-time UB/LB convergence chart from one or
+  more solver traces.
+
+Both return the SVG document as a string; :func:`save_svg` writes it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+from xml.sax.saxutils import escape
+
+from .core.tree import SteinerTree
+from .graph.graph import Graph
+
+__all__ = ["tree_to_svg", "trace_to_svg", "save_svg"]
+
+_FONT = "font-family='monospace' font-size='11'"
+
+# Brand-neutral placeholder palette (one colour per series).
+_SERIES_COLORS = (
+    "#4269d0", "#efb118", "#ff725c", "#6cc5b0",
+    "#3ca951", "#ff8ab7", "#a463f2", "#97bbf5",
+)
+
+
+def save_svg(path: str, svg: str) -> str:
+    """Write an SVG document; returns the path."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(svg)
+    return path
+
+
+# ----------------------------------------------------------------------
+# Tree drawing
+# ----------------------------------------------------------------------
+def tree_to_svg(
+    tree: SteinerTree,
+    graph: Graph,
+    *,
+    root: int = -1,
+    node_width: int = 130,
+    level_height: int = 80,
+    max_labels: int = 3,
+) -> str:
+    """Layered drawing of a Steiner tree (paper case-study style)."""
+    adjacency: Dict[int, List[Tuple[int, float]]] = {n: [] for n in tree.nodes}
+    for u, v, w in tree.edges:
+        adjacency[u].append((v, w))
+        adjacency[v].append((u, w))
+    if root < 0 or root not in tree.nodes:
+        root = max(tree.nodes, key=lambda n: len(adjacency[n]))
+
+    # BFS layering + in-order leaf positioning.
+    depth: Dict[int, int] = {root: 0}
+    order: List[int] = [root]
+    parent_of: Dict[int, Optional[int]] = {root: None}
+    queue = [root]
+    while queue:
+        node = queue.pop(0)
+        for child, _ in adjacency[node]:
+            if child not in depth:
+                depth[child] = depth[node] + 1
+                parent_of[child] = node
+                order.append(child)
+                queue.append(child)
+
+    # Assign x positions: leaves evenly spaced, internals centered over
+    # their children (classic tidy-ish layout).
+    children: Dict[int, List[int]] = {n: [] for n in tree.nodes}
+    for node in order[1:]:
+        children[parent_of[node]].append(node)
+    x_position: Dict[int, float] = {}
+    next_leaf_x = [0.0]
+
+    def place(node: int) -> float:
+        kids = children[node]
+        if not kids:
+            x = next_leaf_x[0]
+            next_leaf_x[0] += node_width + 20
+        else:
+            xs = [place(kid) for kid in kids]
+            x = sum(xs) / len(xs)
+        x_position[node] = x
+        return x
+
+    place(root)
+
+    width = int(next_leaf_x[0] + node_width)
+    height = (max(depth.values()) + 1) * level_height + 50
+    parts: List[str] = [
+        f"<svg xmlns='http://www.w3.org/2000/svg' width='{width}' "
+        f"height='{height}' viewBox='0 0 {width} {height}'>",
+        "<rect width='100%' height='100%' fill='white'/>",
+    ]
+
+    def center(node: int) -> Tuple[float, float]:
+        return (
+            x_position[node] + node_width / 2,
+            depth[node] * level_height + 40,
+        )
+
+    # Edges first (under the boxes).
+    for u, v, w in tree.edges:
+        x1, y1 = center(u)
+        x2, y2 = center(v)
+        parts.append(
+            f"<line x1='{x1:.1f}' y1='{y1:.1f}' x2='{x2:.1f}' y2='{y2:.1f}' "
+            "stroke='#888' stroke-width='1.5'/>"
+        )
+        mx, my = (x1 + x2) / 2, (y1 + y2) / 2
+        parts.append(
+            f"<text x='{mx + 4:.1f}' y='{my - 4:.1f}' {_FONT} "
+            f"fill='#666'>{w:g}</text>"
+        )
+    # Node boxes.
+    for node in tree.nodes:
+        x, y = x_position[node], depth[node] * level_height + 25
+        name = graph.name_of(node)
+        title = escape(str(name if name is not None else node))
+        labels = ",".join(
+            sorted(str(x) for x in graph.labels_of(node))[:max_labels]
+        )
+        parts.append(
+            f"<rect x='{x:.1f}' y='{y}' width='{node_width}' height='34' "
+            "rx='5' fill='#eef2fb' stroke='#4269d0'/>"
+        )
+        parts.append(
+            f"<text x='{x + 6:.1f}' y='{y + 14}' {_FONT} "
+            f"fill='#1a1a2e'>{title[:20]}</text>"
+        )
+        if labels:
+            parts.append(
+                f"<text x='{x + 6:.1f}' y='{y + 28}' {_FONT} "
+                f"fill='#555'>{escape(labels)[:24]}</text>"
+            )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+# ----------------------------------------------------------------------
+# Progressive-curve chart
+# ----------------------------------------------------------------------
+def trace_to_svg(
+    traces: Dict[str, Sequence[Tuple[float, float, float]]],
+    *,
+    width: int = 560,
+    height: int = 320,
+    title: str = "progressive bounds (UB solid, LB dashed)",
+) -> str:
+    """Figure-10-style chart: per-algorithm UB (solid) + LB (dashed).
+
+    ``traces[name]`` is a sequence of ``(elapsed, UB, LB)``; elapsed is
+    drawn on a log axis like the paper.  Infinite UBs are skipped.
+    """
+    if not traces:
+        raise ValueError("no traces to plot")
+    margin = 55
+    plot_w = width - margin - 20
+    plot_h = height - margin - 30
+
+    points: List[Tuple[float, float]] = []
+    for trace in traces.values():
+        for t, ub, lb in trace:
+            if t > 0 and math.isfinite(ub):
+                points.append((t, ub))
+            if t > 0:
+                points.append((t, lb))
+    if not points:
+        raise ValueError("no finite points to plot")
+    t_lo = min(math.log10(t) for t, _ in points)
+    t_hi = max(math.log10(t) for t, _ in points)
+    y_lo = min(y for _, y in points)
+    y_hi = max(y for _, y in points)
+    t_span = (t_hi - t_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    def sx(t: float) -> float:
+        return margin + (math.log10(max(t, 1e-9)) - t_lo) / t_span * plot_w
+
+    def sy(value: float) -> float:
+        return 20 + (y_hi - value) / y_span * plot_h
+
+    parts = [
+        f"<svg xmlns='http://www.w3.org/2000/svg' width='{width}' "
+        f"height='{height}' viewBox='0 0 {width} {height}'>",
+        "<rect width='100%' height='100%' fill='white'/>",
+        f"<text x='{margin}' y='14' {_FONT} fill='#333'>{escape(title)}</text>",
+        # Axes.
+        f"<line x1='{margin}' y1='{20 + plot_h}' x2='{margin + plot_w}' "
+        f"y2='{20 + plot_h}' stroke='#333'/>",
+        f"<line x1='{margin}' y1='20' x2='{margin}' y2='{20 + plot_h}' "
+        "stroke='#333'/>",
+        f"<text x='{margin + plot_w - 70}' y='{20 + plot_h + 16}' {_FONT} "
+        "fill='#333'>time (log)</text>",
+        f"<text x='6' y='{20 + plot_h / 2:.0f}' {_FONT} fill='#333'>weight</text>",
+        f"<text x='{margin - 40}' y='{sy(y_hi) + 4:.0f}' {_FONT} "
+        f"fill='#333'>{y_hi:.1f}</text>",
+        f"<text x='{margin - 40}' y='{sy(y_lo) + 4:.0f}' {_FONT} "
+        f"fill='#333'>{y_lo:.1f}</text>",
+    ]
+
+    for idx, (name, trace) in enumerate(traces.items()):
+        color = _SERIES_COLORS[idx % len(_SERIES_COLORS)]
+        ub_path = " ".join(
+            f"{sx(t):.1f},{sy(ub):.1f}"
+            for t, ub, _ in trace
+            if t > 0 and math.isfinite(ub)
+        )
+        lb_path = " ".join(
+            f"{sx(t):.1f},{sy(lb):.1f}" for t, _, lb in trace if t > 0
+        )
+        if ub_path:
+            parts.append(
+                f"<polyline points='{ub_path}' fill='none' stroke='{color}' "
+                "stroke-width='2'/>"
+            )
+        if lb_path:
+            parts.append(
+                f"<polyline points='{lb_path}' fill='none' stroke='{color}' "
+                "stroke-width='2' stroke-dasharray='5,4'/>"
+            )
+        parts.append(
+            f"<text x='{margin + plot_w - 120}' y='{34 + idx * 15}' {_FONT} "
+            f"fill='{color}'>{escape(name)}</text>"
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)

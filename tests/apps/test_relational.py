@@ -1,0 +1,140 @@
+"""Tests for the mini relational database substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import GraphError
+from repro.apps.relational import Database, tokenize
+
+
+class TestTokenize:
+    def test_basic(self):
+        assert tokenize("Hello, World!") == ["hello", "world"]
+
+    def test_numbers_kept(self):
+        assert tokenize("SIGMOD 2016") == ["sigmod", "2016"]
+
+    def test_empty(self):
+        assert tokenize("...") == []
+
+
+def sample_db() -> Database:
+    db = Database()
+    authors = db.create_relation("author", ["name"])
+    papers = db.create_relation("paper", ["title"])
+    authors.insert("a1", name="Ada Lovelace")
+    authors.insert("a2", name="Alan Turing")
+    papers.insert("p1", title="Notes on the Analytical Engine")
+    papers.insert("p2", title="Computing Machinery and Intelligence")
+    db.add_reference("author", "a1", "paper", "p1")
+    db.add_reference("author", "a2", "paper", "p2")
+    db.add_reference("paper", "p2", "paper", "p1", strength=2.0)
+    return db
+
+
+class TestSchema:
+    def test_duplicate_relation_rejected(self):
+        db = Database()
+        db.create_relation("r", ["a"])
+        with pytest.raises(GraphError):
+            db.create_relation("r", ["a"])
+
+    def test_unknown_relation(self):
+        with pytest.raises(GraphError):
+            Database().relation("ghost")
+
+    def test_duplicate_key_rejected(self):
+        db = Database()
+        rel = db.create_relation("r", ["a"])
+        rel.insert(1, a="x")
+        with pytest.raises(GraphError):
+            rel.insert(1, a="y")
+
+    def test_unknown_attribute_rejected(self):
+        db = Database()
+        rel = db.create_relation("r", ["a"])
+        with pytest.raises(GraphError):
+            rel.insert(1, b="nope")
+
+    def test_reference_to_missing_tuple_rejected(self):
+        db = sample_db()
+        with pytest.raises(GraphError):
+            db.add_reference("author", "a1", "paper", "p999")
+        with pytest.raises(GraphError):
+            db.add_reference("author", "ghost", "paper", "p1")
+
+    def test_nonpositive_strength_rejected(self):
+        db = sample_db()
+        with pytest.raises(GraphError):
+            db.add_reference("author", "a1", "paper", "p2", strength=0.0)
+
+
+class TestToGraph:
+    def test_nodes_and_edges(self):
+        g = sample_db().to_graph()
+        assert g.num_nodes == 4
+        assert g.num_edges == 3
+
+    def test_keyword_labels(self):
+        g = sample_db().to_graph()
+        ada = g.node_by_name(("author", "a1"))
+        assert g.has_label(ada, "ada")
+        assert g.has_label(ada, "lovelace")
+        assert g.has_label(ada, "rel:author")
+
+    def test_edge_weights_are_strengths(self):
+        g = sample_db().to_graph()
+        p1 = g.node_by_name(("paper", "p1"))
+        p2 = g.node_by_name(("paper", "p2"))
+        assert g.edge_weight(p1, p2) == 2.0
+
+    def test_describe_node(self):
+        db = sample_db()
+        g = db.to_graph()
+        text = db.describe_node(g, g.node_by_name(("author", "a1")))
+        assert "Ada Lovelace" in text
+        assert "author" in text
+
+
+class TestToDigraph:
+    def test_edges_follow_reference_direction(self):
+        db = sample_db()
+        dg = db.to_digraph()
+        ada = dg.node_by_name(("author", "a1"))
+        p1 = dg.node_by_name(("paper", "p1"))
+        assert dg.has_edge(ada, p1)
+        assert not dg.has_edge(p1, ada)
+        dg.validate()
+
+    def test_directed_keyword_search(self):
+        """Directed GST over the tuple digraph: an author connecting to
+        both papers must follow forward references only."""
+        from repro.core import DirectedGSTSolver
+
+        db = sample_db()
+        dg = db.to_digraph()
+        # 'computing' is in p2's title; 'analytical' in p1's.
+        # p2 cites p1, so the root can be p2 (or alan, who wrote p2).
+        result = DirectedGSTSolver(dg, ["computing", "analytical"]).solve()
+        assert result.optimal
+        result.tree.validate(dg, ["computing", "analytical"])
+        p2 = dg.node_by_name(("paper", "p2"))
+        assert result.tree.root == p2  # cheapest root: p2 -> p1 costs 2
+        assert result.weight == pytest.approx(2.0)
+
+    def test_directed_infeasible_where_undirected_feasible(self):
+        """Direction can make queries unanswerable: nothing references
+        both authors, though they connect in the undirected graph."""
+        from repro import InfeasibleQueryError
+        from repro.core import DirectedGSTSolver
+
+        db = sample_db()
+        dg = db.to_digraph()
+        with pytest.raises(InfeasibleQueryError):
+            DirectedGSTSolver(dg, ["ada", "alan"]).solve()
+        # Undirected: feasible.
+        from repro import solve_gst
+
+        result = solve_gst(db.to_graph(), ["ada", "alan"])
+        assert result.optimal

@@ -1,0 +1,84 @@
+"""Team formation application tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import GraphError, InfeasibleQueryError
+from repro.apps import ExpertNetwork
+
+
+@pytest.fixture
+def network():
+    net = ExpertNetwork()
+    net.add_expert("ann", ["python", "ml"])
+    net.add_expert("bob", ["databases"])
+    net.add_expert("cat", ["frontend"])
+    net.add_expert("dan", [])  # connector
+    net.add_collaboration("ann", "dan", 1.0)
+    net.add_collaboration("bob", "dan", 1.0)
+    net.add_collaboration("cat", "dan", 2.0)
+    net.add_collaboration("ann", "bob", 5.0)
+    return net
+
+
+class TestConstruction:
+    def test_duplicate_expert_rejected(self, network):
+        with pytest.raises(GraphError):
+            network.add_expert("ann", ["x"])
+
+    def test_unknown_expert_in_collaboration(self, network):
+        with pytest.raises(GraphError):
+            network.add_collaboration("ann", "zoe", 1.0)
+
+    def test_nonpositive_cost_rejected(self, network):
+        with pytest.raises(GraphError):
+            network.add_collaboration("ann", "bob", 0.0)
+
+    def test_num_experts(self, network):
+        assert network.num_experts == 4
+
+    def test_skills_of(self, network):
+        assert network.skills_of("ann") == frozenset({"python", "ml"})
+        with pytest.raises(GraphError):
+            network.skills_of("zoe")
+
+
+class TestFindTeam:
+    def test_single_skill(self, network):
+        team = network.find_team(["databases"])
+        assert team.members == ["bob"]
+        assert team.communication_cost == 0.0
+        assert team.optimal
+
+    def test_two_skills_via_connector(self, network):
+        team = network.find_team(["ml", "databases"])
+        assert sorted(team.members) == ["ann", "bob", "dan"]
+        assert team.communication_cost == pytest.approx(2.0)
+        assert team.covers(network.expert_skills())
+
+    def test_three_skills(self, network):
+        team = network.find_team(["ml", "databases", "frontend"])
+        assert team.communication_cost == pytest.approx(4.0)
+        assert team.covers(network.expert_skills())
+
+    def test_duplicate_skills_deduped(self, network):
+        team = network.find_team(["ml", "ml", "databases"])
+        assert team.required_skills == ("ml", "databases")
+
+    def test_missing_skill_raises(self, network):
+        with pytest.raises(InfeasibleQueryError):
+            network.find_team(["quantum"])
+
+    def test_empty_skills_raises(self, network):
+        with pytest.raises(InfeasibleQueryError):
+            network.find_team([])
+
+    def test_algorithm_selection(self, network):
+        team = network.find_team(["ml", "databases"], algorithm="basic")
+        assert team.communication_cost == pytest.approx(2.0)
+
+    def test_team_covers_check(self, network):
+        team = network.find_team(["ml"])
+        assert team.covers(network.expert_skills())
+        assert not team.covers({})

@@ -1,0 +1,69 @@
+"""Distance-network heuristic tests, including its k-approx guarantee."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import InfeasibleQueryError
+from repro.baselines import DistanceNetworkSolver
+from repro.core import DPBFSolver, brute_force_gst
+from repro.graph import generators
+
+
+class TestBasics:
+    def test_path(self, path_graph):
+        result = DistanceNetworkSolver(path_graph, ["x", "y"]).solve()
+        assert result.tree is not None
+        result.tree.validate(path_graph, ["x", "y"])
+        assert result.weight == pytest.approx(3.0)
+        assert not result.optimal
+
+    def test_single_label(self, path_graph):
+        result = DistanceNetworkSolver(path_graph, ["x"]).solve()
+        assert result.weight == 0.0
+
+    def test_star_finds_hub(self, star_graph):
+        result = DistanceNetworkSolver(star_graph, ["x", "y", "z"]).solve()
+        assert result.weight == pytest.approx(6.0)
+        assert 0 in result.tree.nodes
+
+    def test_infeasible_raises(self, path_graph):
+        with pytest.raises(InfeasibleQueryError):
+            DistanceNetworkSolver(path_graph, ["x", "nope"]).solve()
+
+    def test_bad_num_roots(self, path_graph):
+        with pytest.raises(ValueError):
+            DistanceNetworkSolver(path_graph, ["x"], num_roots=0)
+
+
+class TestGuarantee:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_k_approximation(self, seed, random_graph_factory):
+        """Provable bound: answer <= k * optimum."""
+        k = 3
+        g = random_graph_factory(seed, n=10, extra_edges=8, k=k)
+        labels = [f"q{i}" for i in range(k)]
+        optimum, _ = brute_force_gst(g, labels)
+        result = DistanceNetworkSolver(g, labels).solve()
+        assert optimum - 1e-9 <= result.weight <= k * optimum + 1e-9
+
+    def test_more_roots_never_worse(self):
+        g = generators.random_graph(
+            40, 90, num_query_labels=4, label_frequency=4, seed=6
+        )
+        labels = [f"q{i}" for i in range(4)]
+        one = DistanceNetworkSolver(g, labels, num_roots=1).solve()
+        many = DistanceNetworkSolver(g, labels, num_roots=8).solve()
+        assert many.weight <= one.weight + 1e-9
+
+    def test_much_cheaper_than_exact_search(self):
+        g = generators.dblp_like(
+            num_papers=150, num_authors=90,
+            num_query_labels=10, label_frequency=5, seed=3,
+        )
+        labels = [f"q{i}" for i in range(4)]
+        heuristic = DistanceNetworkSolver(g, labels).solve()
+        exact = DPBFSolver(g, labels).solve()
+        assert heuristic.weight >= exact.weight - 1e-9
+        # The heuristic only scans nodes once.
+        assert heuristic.stats.states_popped == g.num_nodes

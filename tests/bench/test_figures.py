@@ -1,0 +1,103 @@
+"""Smoke + shape tests for the figure/table regeneration harness.
+
+Full-size regenerations live under benchmarks/; here each harness
+function is exercised at tiny scale and its output contract checked.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import figures
+from repro.bench.runner import RATIO_CHECKPOINTS
+
+
+class TestTimeFigures:
+    def test_knum_sweep_structure(self):
+        fig = figures.figure_time_vs_ratio_knum(
+            "dblp", scale="tiny", knums=(3, 4), num_queries=1,
+        )
+        assert "knum=3" in fig.text and "knum=4" in fig.text
+        assert (3, "PrunedDP++") in fig.series
+        values = fig.series[(3, "PrunedDP++")]
+        assert len(values) == len(RATIO_CHECKPOINTS)
+        # Times to successive (tighter) checkpoints are non-decreasing.
+        assert values == sorted(values)
+
+    def test_kwf_sweep_structure(self):
+        fig = figures.figure_time_vs_ratio_kwf(
+            "roadusa", scale="tiny", knum=3, kwfs=(4, 8), num_queries=1,
+        )
+        assert "kwf=4" in fig.text and "kwf=8" in fig.text
+        assert (4, "Basic") in fig.series
+
+
+class TestMemoryFigures:
+    def test_memory_knum(self):
+        fig = figures.figure_memory_vs_ratio_knum(
+            "dblp", scale="tiny", knums=(3,), num_queries=1,
+        )
+        peak, states = fig.series[(3, "PrunedDP++")]
+        assert peak > 0 and states > 0
+        # PrunedDP++ never pops more states than Basic.
+        assert fig.series[(3, "PrunedDP++")][1] <= fig.series[(3, "Basic")][1]
+
+    def test_memory_kwf(self):
+        fig = figures.figure_memory_vs_ratio_kwf(
+            "imdb", scale="tiny", knum=3, kwfs=(8,), num_queries=1,
+        )
+        assert (8, "PrunedDP") in fig.series
+
+
+class TestProgressiveFigure:
+    def test_traces_monotone(self):
+        fig = figures.figure_progressive_bounds(
+            "dblp", scale="tiny", knum=4,
+        )
+        for algorithm in ("Basic", "PrunedDP", "PrunedDP+", "PrunedDP++"):
+            trace = fig.series[("trace", algorithm)]
+            assert trace
+            ubs = [ub for _, ub, _ in trace]
+            lbs = [lb for _, _, lb in trace]
+            assert all(b <= a + 1e-9 for a, b in zip(ubs, ubs[1:]))
+            assert all(b >= a - 1e-9 for a, b in zip(lbs, lbs[1:]))
+            # Gap closed at the end.
+            assert ubs[-1] == pytest.approx(lbs[-1])
+
+
+class TestLargeKnumFigure:
+    def test_runs(self):
+        fig = figures.figure_large_knum(
+            "dblp", scale="tiny", knums=(5,),
+        )
+        assert "knum=5" in fig.text
+        trace = fig.series[(5, "PrunedDP++")]
+        assert trace
+
+
+class TestAllAlgorithmsTable:
+    def test_structure(self):
+        fig = figures.table_all_algorithms(
+            "dblp", scale="tiny", knum=3, num_queries=1,
+            algorithms=("Basic", "PrunedDP++", "DPBF", "DistanceNetwork"),
+        )
+        assert "all-algorithms" in fig.text
+        ratio, states, seconds = fig.series[("row", "PrunedDP++")]
+        assert ratio == pytest.approx(1.0)
+        assert states > 0 and seconds >= 0
+        heuristic_ratio = fig.series[("row", "DistanceNetwork")][0]
+        assert heuristic_ratio >= 1.0 - 1e-9
+
+
+class TestBanksTable:
+    def test_structure(self):
+        table = figures.table_banks_comparison(
+            "dblp", scale="tiny", configurations=((3, 8),), num_queries=1,
+        )
+        banks_time, banks_ratio, pp_time, tr = table.series[(3, 8)]
+        assert banks_time >= 0
+        assert banks_ratio >= 1.0 - 1e-9
+        assert pp_time >= 0
+        # T_r never exceeds the full PrunedDP++ solve time.
+        assert tr <= pp_time + 1e-9
+        assert "BANKS-II" in table.text

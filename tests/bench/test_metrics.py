@@ -1,0 +1,144 @@
+"""Metrics/formatting helper tests."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.bench.metrics import (
+    format_bytes,
+    format_seconds,
+    format_table,
+    geometric_mean,
+    mean,
+)
+
+
+class TestMeans:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_mean_empty_is_nan(self):
+        assert math.isnan(mean([]))
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geometric_mean_skips_nonpositive(self):
+        assert geometric_mean([0.0, 4.0]) == pytest.approx(4.0)
+
+    def test_geometric_mean_empty_is_nan(self):
+        assert math.isnan(geometric_mean([0.0]))
+
+
+class TestFormatSeconds:
+    def test_micro(self):
+        assert format_seconds(5e-5) == "50us"
+
+    def test_milli(self):
+        assert format_seconds(0.0123) == "12.3ms"
+
+    def test_seconds(self):
+        assert format_seconds(3.14159) == "3.14s"
+
+    def test_minutes(self):
+        assert format_seconds(300.0) == "5.0min"
+
+    def test_none_and_nan(self):
+        assert format_seconds(None) == "-"
+        assert format_seconds(float("nan")) == "-"
+
+    def test_inf(self):
+        assert format_seconds(float("inf")) == "inf"
+
+
+class TestFormatBytes:
+    def test_bytes(self):
+        assert format_bytes(512) == "512B"
+
+    def test_kilobytes(self):
+        assert format_bytes(2048) == "2.0KB"
+
+    def test_megabytes(self):
+        assert format_bytes(3 * 1024**2) == "3.0MB"
+
+    def test_gigabytes(self):
+        assert format_bytes(5 * 1024**3) == "5.0GB"
+
+    def test_nan(self):
+        assert format_bytes(float("nan")) == "-"
+
+
+class TestMeasurePeakMemory:
+    def test_returns_result_and_positive_peak(self):
+        from repro.bench.metrics import measure_peak_memory
+
+        result, peak = measure_peak_memory(lambda: [0] * 100_000)
+        assert len(result) == 100_000
+        assert peak > 100_000 * 8 // 2  # at least the list's payload
+
+    def test_bigger_allocation_bigger_peak(self):
+        from repro.bench.metrics import measure_peak_memory
+
+        _, small = measure_peak_memory(lambda: [0] * 10_000)
+        _, big = measure_peak_memory(lambda: [0] * 1_000_000)
+        assert big > small
+
+    def test_nested_measurement(self):
+        from repro.bench.metrics import measure_peak_memory
+
+        def outer():
+            _, inner_peak = measure_peak_memory(lambda: [0] * 1000)
+            return inner_peak
+
+        inner_peak, outer_peak = measure_peak_memory(outer)
+        assert inner_peak > 0
+        assert outer_peak > 0
+
+    def test_exception_stops_tracing(self):
+        import tracemalloc
+
+        from repro.bench.metrics import measure_peak_memory
+
+        def boom():
+            raise RuntimeError("x")
+
+        with pytest.raises(RuntimeError):
+            measure_peak_memory(boom)
+        assert not tracemalloc.is_tracing()
+
+    def test_solver_memory_ordering_ground_truth(self):
+        """The real allocator agrees with the byte model's ordering."""
+        from repro.bench.metrics import measure_peak_memory
+        from repro.core import BasicSolver, PrunedDPPlusPlusSolver
+        from repro.graph import generators
+
+        g = generators.dblp_like(
+            num_papers=120, num_authors=70,
+            num_query_labels=10, label_frequency=5, seed=2,
+        )
+        labels = [f"q{i}" for i in range(4)]
+        _, basic_peak = measure_peak_memory(
+            lambda: BasicSolver(g, labels).solve()
+        )
+        _, pp_peak = measure_peak_memory(
+            lambda: PrunedDPPlusPlusSolver(g, labels).solve()
+        )
+        assert pp_peak < basic_peak
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(
+            ["name", "value"], [["a", "1"], ["long-name", "22"]], title="T"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert lines[2].startswith("-")
+        assert len(lines) == 5
+
+    def test_non_string_cells(self):
+        out = format_table(["x"], [[42]])
+        assert "42" in out

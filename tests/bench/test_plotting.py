@@ -1,0 +1,95 @@
+"""ASCII chart tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.plotting import ascii_chart, progressive_chart
+
+
+class TestAsciiChart:
+    def test_single_series(self):
+        chart = ascii_chart({"s": [(0.0, 1.0), (1.0, 2.0), (2.0, 4.0)]})
+        assert "A=s" in chart
+        assert "A" in chart.splitlines()[0] or any(
+            "A" in line for line in chart.splitlines()
+        )
+
+    def test_multiple_series_have_distinct_markers(self):
+        chart = ascii_chart(
+            {
+                "up": [(0.0, 0.0), (1.0, 10.0)],
+                "down": [(0.0, 10.0), (1.0, 0.0)],
+            }
+        )
+        assert "A=up" in chart
+        assert "B=down" in chart
+        body = "\n".join(chart.splitlines()[:-2])
+        assert "A" in body and "B" in body
+
+    def test_log_x(self):
+        chart = ascii_chart(
+            {"s": [(0.001, 1.0), (0.01, 2.0), (10.0, 3.0)]}, log_x=True
+        )
+        assert chart  # no crash on 4-decade span
+
+    def test_non_finite_points_skipped(self):
+        chart = ascii_chart(
+            {"s": [(0.0, float("inf")), (1.0, 2.0), (2.0, 3.0)]}
+        )
+        assert chart
+
+    def test_flat_series(self):
+        chart = ascii_chart({"s": [(0.0, 5.0), (1.0, 5.0)]})
+        assert "5.00" in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart({})
+        with pytest.raises(ValueError):
+            ascii_chart({"s": [(0.0, float("nan"))]})
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart({"s": [(0, 1)]}, width=2, height=2)
+
+    def test_y_label(self):
+        chart = ascii_chart({"s": [(0, 1), (1, 2)]}, y_label="weight")
+        assert chart.splitlines()[0] == "weight"
+
+
+class TestProgressiveChart:
+    def test_single_algorithm_shows_ub_and_lb(self):
+        trace = [(0.01, 10.0, 1.0), (0.1, 8.0, 4.0), (1.0, 8.0, 8.0)]
+        chart = progressive_chart({"X": trace})
+        assert "A=X UB" in chart
+        assert "B=X LB" in chart
+
+    def test_multi_algorithm_overlays_ubs(self):
+        traces = {
+            "X": [(0.01, 10.0, 1.0), (1.0, 8.0, 8.0)],
+            "Y": [(0.01, 12.0, 1.0), (0.5, 8.0, 8.0)],
+        }
+        chart = progressive_chart(traces)
+        assert "A=X" in chart and "B=Y" in chart
+
+    def test_infinite_ub_skipped(self):
+        trace = [(0.01, float("inf"), 1.0), (1.0, 8.0, 8.0)]
+        chart = progressive_chart({"X": trace})
+        assert chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            progressive_chart({})
+
+    def test_real_solver_trace(self):
+        from repro.core import PrunedDPPlusPlusSolver
+        from repro.graph import generators
+
+        g = generators.random_graph(
+            30, 70, num_query_labels=3, label_frequency=3, seed=2
+        )
+        result = PrunedDPPlusPlusSolver(g, ["q0", "q1", "q2"]).solve()
+        trace = [(p.elapsed, p.best_weight, p.lower_bound) for p in result.trace]
+        chart = progressive_chart({"PrunedDP++": trace})
+        assert "UB" in chart and "LB" in chart

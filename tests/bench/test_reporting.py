@@ -1,0 +1,100 @@
+"""JSON experiment-record tests."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.reporting import (
+    environment_record,
+    load_json,
+    query_run_to_dict,
+    save_json,
+    suite_to_dict,
+)
+from repro.bench.runner import run_query, run_suite
+from repro.bench.workloads import make_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_workload(
+        "dblp", scale="tiny", knum=3, kwf=8, num_queries=2, seed=2
+    )
+
+
+class TestEnvironmentRecord:
+    def test_fields(self):
+        record = environment_record()
+        assert record["python"]
+        assert record["platform"]
+        assert "T" in record["timestamp"]
+
+
+class TestQueryRunRecord:
+    def test_serializable(self, workload):
+        graph, queries = workload
+        run = run_query("PrunedDP++", graph, list(queries)[0])
+        record = query_run_to_dict(run)
+        text = json.dumps(record)  # must not raise
+        parsed = json.loads(text)
+        assert parsed["algorithm"] == "PrunedDP++"
+        assert parsed["optimal"] is True
+        assert parsed["tree"]["edges"] is not None
+        assert parsed["time_to_ratio"]["1"] is not None
+        assert parsed["stats"]["states_popped"] > 0
+
+    def test_trace_round_trips(self, workload):
+        graph, queries = workload
+        run = run_query("Basic", graph, list(queries)[0])
+        record = query_run_to_dict(run)
+        assert len(record["trace"]) == len(run.result.trace)
+
+
+class TestSuiteRecord:
+    def test_structure(self, workload):
+        graph, queries = workload
+        suite = run_suite(graph, list(queries), ["Basic", "PrunedDP++"])
+        record = suite_to_dict(suite, metadata={"figure": "test"})
+        assert record["metadata"] == {"figure": "test"}
+        assert set(record["algorithms"]) == {"Basic", "PrunedDP++"}
+        basic = record["algorithms"]["Basic"]
+        assert basic["all_optimal"] is True
+        assert len(basic["runs"]) == 2
+        json.dumps(record)
+
+    def test_save_and_load(self, workload, tmp_path):
+        graph, queries = workload
+        suite = run_suite(graph, list(queries), ["PrunedDP++"])
+        record = suite_to_dict(suite)
+        path = str(tmp_path / "record.json")
+        save_json(path, record)
+        loaded = load_json(path)
+        assert loaded["algorithms"]["PrunedDP++"]["all_optimal"] is True
+
+
+class TestResultToDict:
+    def test_infinity_encoded(self):
+        from repro.core.result import GSTResult, SearchStats
+
+        result = GSTResult(
+            algorithm="T",
+            labels=("a",),
+            tree=None,
+            weight=float("inf"),
+            lower_bound=0.0,
+            optimal=False,
+            stats=SearchStats(),
+        )
+        record = result.to_dict()
+        assert record["weight"] == "inf"
+        json.dumps(record)
+
+    def test_tree_edges_included(self, workload):
+        graph, queries = workload
+        run = run_query("DPBF", graph, list(queries)[0])
+        record = run.result.to_dict()
+        assert record["tree"]["edges"]
+        total = sum(w for _, _, w in record["tree"]["edges"])
+        assert total == pytest.approx(run.result.weight)

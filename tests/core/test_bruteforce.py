@@ -1,0 +1,80 @@
+"""Tests for the brute-force oracle itself (hand-verified instances)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Graph
+from repro.core.bruteforce import (
+    MAX_BRUTE_FORCE_NODES,
+    brute_force_gst,
+    brute_force_route,
+)
+
+
+class TestBruteForceGST:
+    def test_path(self, path_graph):
+        weight, tree = brute_force_gst(path_graph, ["x", "y"])
+        assert weight == pytest.approx(3.0)
+        tree.validate(path_graph, ["x", "y"])
+
+    def test_single_node_solution(self):
+        g = Graph()
+        v = g.add_node(labels=["a", "b"])
+        w = g.add_node()
+        g.add_edge(v, w, 1.0)
+        weight, tree = brute_force_gst(g, ["a", "b"])
+        assert weight == 0.0
+        assert tree.nodes == frozenset({v})
+
+    def test_steiner_node_used(self, star_graph):
+        weight, tree = brute_force_gst(star_graph, ["x", "y", "z"])
+        assert weight == pytest.approx(6.0)
+        assert 0 in tree.nodes  # hub is a Steiner (non-terminal) node
+
+    def test_infeasible_returns_inf(self):
+        g = Graph()
+        g.add_node(labels=["x"])
+        g.add_node(labels=["y"])
+        weight, tree = brute_force_gst(g, ["x", "y"])
+        assert weight == float("inf")
+        assert tree is None
+
+    def test_group_choice_matters(self):
+        """Two nodes carry the label; the cheaper one must be chosen."""
+        g = Graph()
+        a = g.add_node(labels=["p"])
+        b1 = g.add_node(labels=["t"])
+        b2 = g.add_node(labels=["t"])
+        g.add_edge(a, b1, 10.0)
+        g.add_edge(a, b2, 1.0)
+        weight, tree = brute_force_gst(g, ["p", "t"])
+        assert weight == 1.0
+        assert b2 in tree.nodes and b1 not in tree.nodes
+
+    def test_size_cap(self):
+        g = Graph()
+        for _ in range(MAX_BRUTE_FORCE_NODES + 1):
+            g.add_node(labels=["a"])
+        with pytest.raises(ValueError):
+            brute_force_gst(g, ["a"])
+
+
+class TestBruteForceRoute:
+    def test_direct_pair(self):
+        dist = [[0.0, 3.0], [3.0, 0.0]]
+        assert brute_force_route(dist, 0, 1, [0, 1]) == 3.0
+
+    def test_singleton(self):
+        dist = [[0.0]]
+        assert brute_force_route(dist, 0, 0, [0]) == 0.0
+
+    def test_three_stop_ordering(self):
+        # 0 -> 2 -> 1 cheaper than 0 -> 1 ... wait: route must END at 1.
+        dist = [
+            [0.0, 10.0, 1.0],
+            [10.0, 0.0, 1.0],
+            [1.0, 1.0, 0.0],
+        ]
+        # 0 ->2 (1) -> 1 (1) = 2 vs forced orders through all of {0,1,2}.
+        assert brute_force_route(dist, 0, 1, [0, 1, 2]) == 2.0

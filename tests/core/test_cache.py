@@ -1,0 +1,119 @@
+"""Cross-query distance cache tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PrunedDPPlusPlusSolver
+from repro.core.cache import LabelDistanceCache, PreparedGraph
+from repro.graph import generators
+
+
+@pytest.fixture
+def graph():
+    return generators.random_graph(
+        50, 110, num_query_labels=6, label_frequency=4, seed=21
+    )
+
+
+class TestLabelDistanceCache:
+    def test_hit_miss_accounting(self, graph):
+        cache = LabelDistanceCache(graph)
+        cache.distances("q0")
+        cache.distances("q1")
+        cache.distances("q0")
+        assert cache.misses == 2
+        assert cache.hits == 1
+        assert len(cache) == 2
+        assert "q0" in cache and "q5" not in cache
+
+    def test_unknown_label_raises(self, graph):
+        with pytest.raises(KeyError):
+            LabelDistanceCache(graph).distances("ghost")
+
+    def test_cached_arrays_identical_to_fresh(self, graph):
+        from repro.graph.shortest_paths import multi_source_dijkstra
+
+        cache = LabelDistanceCache(graph)
+        dist_cached, parent_cached = cache.distances("q2")
+        dist_fresh, _ = multi_source_dijkstra(
+            graph, list(graph.nodes_with_label("q2"))
+        )
+        assert dist_cached == dist_fresh
+
+    def test_clear(self, graph):
+        cache = LabelDistanceCache(graph)
+        cache.distances("q0")
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestPreparedGraph:
+    def test_same_answers_as_cold_solver(self, graph):
+        prepared = PreparedGraph(graph)
+        for labels in (["q0", "q1"], ["q1", "q2", "q3"], ["q0", "q3"]):
+            warm = prepared.solve(labels)
+            cold = PrunedDPPlusPlusSolver(graph, labels).solve()
+            assert warm.optimal and cold.optimal
+            assert warm.weight == pytest.approx(cold.weight)
+
+    def test_shared_labels_reuse_dijkstras(self, graph):
+        prepared = PreparedGraph(graph)
+        prepared.solve(["q0", "q1"])
+        misses_before = prepared.cache.misses
+        prepared.solve(["q0", "q2"])  # q0 cached, q2 fresh
+        assert prepared.cache.misses == misses_before + 1
+        assert prepared.cache.hits >= 1
+        assert prepared.cached_labels == 3
+
+    def test_algorithm_selection(self, graph):
+        prepared = PreparedGraph(graph)
+        basic = prepared.solve(["q0", "q1"], algorithm="basic")
+        pp = prepared.solve(["q0", "q1"], algorithm="pruneddp++")
+        assert basic.weight == pytest.approx(pp.weight)
+        with pytest.raises(ValueError):
+            prepared.solve(["q0"], algorithm="magic")
+
+    def test_kwargs_forwarded(self, graph):
+        prepared = PreparedGraph(graph)
+        result = prepared.solve(["q0", "q1", "q2"], epsilon=1.0)
+        assert result.ratio <= 2.0 + 1e-9
+
+    def test_dpbf_with_cache(self, graph):
+        prepared = PreparedGraph(graph)
+        result = prepared.solve(["q0", "q1"], algorithm="dpbf")
+        assert result.optimal
+
+
+class TestCacheGraphBinding:
+    def test_foreign_graph_cache_rejected(self, graph):
+        """A cache bound to another graph must be refused, not silently
+        misindexed."""
+        from repro.core import PrunedDPPlusPlusSolver
+        from repro.graph import generators
+
+        other = generators.random_graph(
+            50, 110, num_query_labels=6, label_frequency=4, seed=99
+        )
+        cache = LabelDistanceCache(other)
+        with pytest.raises(ValueError):
+            PrunedDPPlusPlusSolver(
+                graph, ["q0", "q1"], distance_cache=cache
+            ).solve()
+
+    def test_disconnected_graph_drops_cache_safely(self):
+        """solve_gst on a disconnected graph renumbers nodes per
+        component; the cache must be dropped, and answers stay right."""
+        from repro import Graph, solve_gst
+
+        g = Graph()
+        a = g.add_node(labels=["x"])
+        b = g.add_node(labels=["y"])
+        g.add_edge(a, b, 4.0)
+        c = g.add_node(labels=["x"])
+        d = g.add_node(labels=["y"])
+        g.add_edge(c, d, 1.0)
+        cache = LabelDistanceCache(g)
+        result = solve_gst(g, ["x", "y"], distance_cache=cache)
+        assert result.weight == pytest.approx(1.0)
+        assert result.optimal

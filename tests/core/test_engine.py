@@ -1,0 +1,170 @@
+"""White-box tests of the shared search engine (core/engine.py)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Graph, GSTQuery
+from repro.core import (
+    BasicSolver,
+    PrunedDPPlusPlusSolver,
+    PrunedDPSolver,
+)
+from repro.core.context import QueryContext
+from repro.core.engine import SearchEngine
+from repro.graph import generators
+
+
+def engine_for(graph, labels, **kwargs):
+    ctx = QueryContext.build(graph, GSTQuery(labels))
+    kwargs.setdefault("algorithm_name", "test")
+    return SearchEngine(ctx, **kwargs)
+
+
+class TestDeterminism:
+    def test_same_input_same_stats(self):
+        g = generators.random_graph(
+            40, 90, num_query_labels=4, label_frequency=4, seed=17
+        )
+        labels = [f"q{i}" for i in range(4)]
+        for solver_cls in (BasicSolver, PrunedDPSolver, PrunedDPPlusPlusSolver):
+            a = solver_cls(g, labels).solve()
+            b = solver_cls(g, labels).solve()
+            assert a.weight == b.weight
+            assert a.stats.states_popped == b.stats.states_popped
+            assert a.stats.states_pushed == b.stats.states_pushed
+            assert a.tree.edges == b.tree.edges
+
+
+class TestComplementShortcut:
+    def test_shortcut_forms_goal_states(self):
+        """On a graph where complementary halves meet at a middle node,
+        PrunedDP must produce merge-derived goal states."""
+        g = Graph()
+        a = g.add_node(labels=["x"])
+        mid = g.add_node()
+        b = g.add_node(labels=["y"])
+        g.add_edge(a, mid, 1.0)
+        g.add_edge(mid, b, 1.0)
+        result = PrunedDPSolver(g, ["x", "y"]).solve()
+        assert result.optimal
+        assert result.weight == pytest.approx(2.0)
+        assert result.stats.merges_performed >= 0  # engine ran merges path
+
+    def test_shortcut_state_counts_not_worse(self):
+        """Disabling the complement shortcut never reduces popped states."""
+
+        class NoShortcut(PrunedDPSolver):
+            algorithm_name = "PrunedDP[no-shortcut]"
+            complement_shortcut = False
+
+        g = generators.random_graph(
+            35, 80, num_query_labels=4, label_frequency=4, seed=9
+        )
+        labels = [f"q{i}" for i in range(4)]
+        with_shortcut = PrunedDPSolver(g, labels).solve()
+        without = NoShortcut(g, labels).solve()
+        assert with_shortcut.weight == pytest.approx(without.weight)
+        assert (
+            with_shortcut.stats.states_popped
+            <= without.stats.states_popped + 5
+        )
+
+
+class TestEngineKnobValidation:
+    def test_bad_merge_factor(self, star_graph):
+        with pytest.raises(ValueError):
+            engine_for(star_graph, ["x", "y"], merge_factor=0.0)
+        with pytest.raises(ValueError):
+            engine_for(star_graph, ["x", "y"], merge_factor=1.5)
+
+    def test_valid_merge_factor_boundary(self, star_graph):
+        engine = engine_for(star_graph, ["x", "y"], merge_factor=1.0)
+        result = engine.run()
+        assert result.weight == pytest.approx(3.0)
+
+
+class TestProgressiveToggle:
+    def test_non_progressive_mode_skips_feasible_construction(self):
+        g = generators.random_graph(
+            40, 90, num_query_labels=4, label_frequency=4, seed=3
+        )
+        labels = [f"q{i}" for i in range(4)]
+        progressive = BasicSolver(g, labels, progressive=True).solve()
+        pure = BasicSolver(g, labels, progressive=False).solve()
+        assert pure.weight == pytest.approx(progressive.weight)
+        assert pure.stats.feasible_built == 0
+        assert progressive.stats.feasible_built > 0
+
+    def test_non_progressive_still_optimal_and_traced_at_end(self):
+        g = generators.random_graph(
+            30, 60, num_query_labels=3, label_frequency=3, seed=4
+        )
+        result = BasicSolver(g, ["q0", "q1", "q2"], progressive=False).solve()
+        assert result.optimal
+        assert result.trace[-1].ratio == pytest.approx(1.0)
+
+
+class TestOnFeasibleHook:
+    def test_hook_sees_valid_covering_trees(self):
+        g = generators.random_graph(
+            30, 70, num_query_labels=3, label_frequency=3, seed=5
+        )
+        labels = ["q0", "q1", "q2"]
+        seen = []
+        result = BasicSolver(g, labels, on_feasible=seen.append).solve()
+        assert seen
+        for tree in seen:
+            tree.validate(g, labels)
+        # The optimum is among (or equal to the best of) the collected trees.
+        assert min(t.weight for t in seen) == pytest.approx(result.weight)
+
+
+class TestStatsCoherence:
+    @pytest.mark.parametrize(
+        "solver_cls", [BasicSolver, PrunedDPSolver, PrunedDPPlusPlusSolver]
+    )
+    def test_counters_consistent(self, solver_cls):
+        g = generators.random_graph(
+            35, 75, num_query_labels=3, label_frequency=4, seed=6
+        )
+        result = solver_cls(g, ["q0", "q1", "q2"]).solve()
+        stats = result.stats
+        assert 0 < stats.states_popped <= stats.states_pushed
+        assert stats.states_expanded <= stats.states_popped
+        assert stats.peak_live_states >= stats.peak_store_size
+        assert stats.peak_live_states >= stats.peak_queue_size
+        assert stats.total_seconds >= stats.init_seconds >= 0.0
+        assert stats.estimated_bytes > 0
+
+    def test_plusplus_counts_table_entries(self):
+        g = generators.random_graph(
+            30, 60, num_query_labels=4, label_frequency=3, seed=7
+        )
+        result = PrunedDPPlusPlusSolver(g, ["q0", "q1", "q2", "q3"]).solve()
+        assert result.stats.table_entries > 0
+
+
+class TestSeedStates:
+    def test_multi_label_node_reached_by_merge(self):
+        """A node carrying several query labels must still yield the
+        combined state at cost 0 (via zero-cost merges of its seeds)."""
+        g = Graph()
+        v = g.add_node(labels=["a", "b"])
+        w = g.add_node(labels=["c"])
+        g.add_edge(v, w, 3.0)
+        result = BasicSolver(g, ["a", "b", "c"]).solve()
+        assert result.weight == pytest.approx(3.0)
+        assert result.tree.nodes == frozenset({v, w})
+
+    def test_all_group_members_seeded(self):
+        g = Graph()
+        nodes = [g.add_node(labels=["t"]) for _ in range(5)]
+        for u, v in zip(nodes, nodes[1:]):
+            g.add_edge(u, v, 1.0)
+        result = BasicSolver(g, ["t"]).solve()
+        # k=1: every seed is already a goal state; the first one sets
+        # best=0 and the engine prunes the equal-cost duplicates.
+        assert result.weight == 0.0
+        assert result.stats.states_pushed == 1
+        assert result.optimal

@@ -1,0 +1,121 @@
+"""Engine edge cases not exercised by the algorithm-level tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Graph, GSTQuery
+from repro.core import BasicSolver, PrunedDPSolver
+from repro.core.context import QueryContext
+from repro.core.engine import SearchEngine
+from repro.graph import generators
+
+
+def run_engine(graph, labels, **kwargs):
+    ctx = QueryContext.build(graph, GSTQuery(labels))
+    kwargs.setdefault("algorithm_name", "test")
+    return SearchEngine(ctx, **kwargs).run()
+
+
+class TestTraceBehaviour:
+    def test_trace_throttled_but_final_forced(self):
+        """Tiny LB improvements are coalesced; the final point always
+        lands and closes the gap."""
+        g = generators.random_graph(
+            50, 110, num_query_labels=4, label_frequency=4, seed=31
+        )
+        result = BasicSolver(g, [f"q{i}" for i in range(4)]).solve()
+        # The trace is much shorter than the number of popped states.
+        assert len(result.trace) < result.stats.states_popped
+        assert result.trace[-1].ratio == pytest.approx(1.0)
+
+    def test_progress_callback_sees_every_recorded_point(self):
+        g = generators.random_graph(
+            30, 60, num_query_labels=3, label_frequency=3, seed=32
+        )
+        events = []
+        result = BasicSolver(
+            g, ["q0", "q1", "q2"], on_progress=events.append
+        ).solve()
+        assert len(events) == len(result.trace)
+        assert [e.elapsed for e in events] == [p.elapsed for p in result.trace]
+
+
+class TestPolicyCombinations:
+    def test_prune_half_without_merge_gate(self, star_graph):
+        result = run_engine(
+            star_graph, ["x", "y", "z"],
+            prune_half=True, merge_factor=None, complement_shortcut=True,
+        )
+        assert result.weight == pytest.approx(6.0)
+
+    def test_merge_gate_without_prune_half(self, star_graph):
+        result = run_engine(
+            star_graph, ["x", "y", "z"],
+            prune_half=False, merge_factor=2.0 / 3.0,
+        )
+        assert result.weight == pytest.approx(6.0)
+
+    def test_complement_shortcut_alone(self, star_graph):
+        result = run_engine(
+            star_graph, ["x", "y", "z"], complement_shortcut=True
+        )
+        assert result.weight == pytest.approx(6.0)
+
+    @pytest.mark.parametrize("factor", [0.5, 2.0 / 3.0, 0.9, 1.0])
+    def test_any_factor_above_two_thirds_exact(self, factor):
+        """Factors >= 2/3 keep exactness (Theorem 2); smaller factors
+        are unsound in general but we only assert the sound range."""
+        if factor < 2.0 / 3.0 - 1e-9:
+            pytest.skip("unsound range")
+        g = generators.random_graph(
+            25, 55, num_query_labels=4, label_frequency=3, seed=33
+        )
+        labels = [f"q{i}" for i in range(4)]
+        reference = BasicSolver(g, labels).solve().weight
+
+        class Variant(PrunedDPSolver):
+            algorithm_name = f"PrunedDP[{factor}]"
+            merge_factor = factor
+
+        result = Variant(g, labels).solve()
+        assert result.optimal
+        assert result.weight == pytest.approx(reference)
+
+
+class TestBestPruningInteractions:
+    def test_incumbent_prunes_equal_cost_goal(self):
+        """A goal with cost == best is pruned but optimality is still
+        proven via queue drain."""
+        g = Graph()
+        a = g.add_node(labels=["x"])
+        b = g.add_node(labels=["y"])
+        g.add_edge(a, b, 2.0)
+        result = BasicSolver(g, ["x", "y"]).solve()
+        assert result.optimal
+        assert result.weight == pytest.approx(2.0)
+
+    def test_feasible_construction_skip_never_breaks_optimality(self):
+        """With the skip heuristic (best <= state cost) active, the
+        answer still matches the unskipped run."""
+        g = generators.random_graph(
+            40, 85, num_query_labels=4, label_frequency=4, seed=34
+        )
+        labels = [f"q{i}" for i in range(4)]
+        with_skip = BasicSolver(g, labels).solve()
+        # on_feasible disables the skip path.
+        seen = []
+        without_skip = BasicSolver(g, labels, on_feasible=seen.append).solve()
+        assert with_skip.weight == pytest.approx(without_skip.weight)
+        assert with_skip.stats.feasible_built <= without_skip.stats.feasible_built
+
+
+class TestStoreInteraction:
+    def test_peak_counters_monotone_relations(self):
+        g = generators.random_graph(
+            30, 65, num_query_labels=3, label_frequency=3, seed=35
+        )
+        result = PrunedDPSolver(g, ["q0", "q1", "q2"]).solve()
+        stats = result.stats
+        assert stats.peak_store_size <= stats.states_popped
+        assert stats.peak_live_states <= stats.states_pushed + stats.peak_store_size

@@ -1,0 +1,150 @@
+"""Exact top-r enumeration tests, with a full-enumeration oracle."""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import pytest
+
+from repro import Graph, InfeasibleQueryError
+from repro.core import BasicSolver
+from repro.core.topr import exact_top_r_trees
+from repro.core.tree import SteinerTree
+from repro.graph import generators
+from repro.graph.mst import is_tree
+
+
+def is_reduced(graph: Graph, tree: SteinerTree, labels) -> bool:
+    """No proper subtree covers the query <=> every leaf is necessary."""
+    if not tree.edges:
+        return True
+    for leaf, degree in tree.degree_map().items():
+        if degree != 1:
+            continue
+        rest = tree.nodes - {leaf}
+        if all(
+            any(graph.has_label(node, label) for node in rest)
+            for label in labels
+        ):
+            return False  # removable leaf -> not reduced
+    return True
+
+
+def all_covering_trees(graph: Graph, labels) -> list:
+    """Oracle: every distinct *reduced* covering tree, by edge-subset
+    enumeration (the semantics of exact_top_r_trees).
+
+    Exponential in the edge count — tiny graphs only.
+    """
+    edges = list(graph.edges())
+    assert len(edges) <= 14, "oracle too slow beyond 14 edges"
+    found = []
+    # Single-node answers.
+    for node in graph.nodes():
+        if all(graph.has_label(node, label) for label in labels):
+            found.append(SteinerTree.single_node(node))
+    # Multi-edge answers.
+    for size in range(1, graph.num_nodes):
+        for subset in combinations(edges, size):
+            if not is_tree(list(subset)):
+                continue
+            tree = SteinerTree(subset)
+            if tree.covers(graph, labels) and is_reduced(graph, tree, labels):
+                found.append(tree)
+    found.sort(key=lambda t: (t.weight, t.edges, sorted(t.nodes)))
+    return found
+
+
+class TestExactTopR:
+    def test_r_must_be_positive(self, path_graph):
+        with pytest.raises(ValueError):
+            exact_top_r_trees(path_graph, ["x", "y"], 0)
+
+    def test_infeasible_raises(self, path_graph):
+        with pytest.raises(InfeasibleQueryError):
+            exact_top_r_trees(path_graph, ["x", "ghost"], 2)
+
+    def test_diamond_exact_order(self, diamond_graph):
+        trees = exact_top_r_trees(diamond_graph, ["x", "y"], 5)
+        weights = [t.weight for t in trees]
+        # Light route (2), then combinations through the heavy route.
+        assert weights[0] == pytest.approx(2.0)
+        assert weights == sorted(weights)
+        oracle = all_covering_trees(diamond_graph, ["x", "y"])
+        assert weights == [t.weight for t in oracle[: len(weights)]]
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_full_enumeration(self, seed):
+        g = generators.random_graph(
+            6, 4, num_query_labels=2, label_frequency=2, seed=seed
+        )
+        labels = ["q0", "q1"]
+        oracle = all_covering_trees(g, labels)
+        r = min(6, len(oracle))
+        trees = exact_top_r_trees(g, labels, r, solver_cls=BasicSolver)
+        assert [t.weight for t in trees] == pytest.approx(
+            [t.weight for t in oracle[:r]]
+        )
+        # Distinctness.
+        assert len({(t.edges, t.nodes) for t in trees}) == len(trees)
+        for tree in trees:
+            tree.validate(g, labels)
+
+    def test_single_node_answers_enumerated(self):
+        """Several nodes carry all labels: top-r must list them all at
+        weight 0 before any edged tree (node-exclusion branching)."""
+        g = Graph()
+        a = g.add_node(labels=["p", "q"])
+        b = g.add_node(labels=["p", "q"])
+        c = g.add_node(labels=["p"])
+        d = g.add_node(labels=["q"])
+        g.add_edge(a, c, 1.0)
+        g.add_edge(c, d, 1.0)
+        g.add_edge(d, b, 1.0)
+        trees = exact_top_r_trees(g, ["p", "q"], 3, solver_cls=BasicSolver)
+        assert trees[0].weight == 0.0
+        assert trees[1].weight == 0.0
+        assert {tuple(t.nodes) for t in trees[:2]} == {(a,), (b,)}
+        assert trees[2].weight > 0.0
+
+    def test_fewer_than_r_answers(self):
+        g = Graph()
+        a = g.add_node(labels=["p"])
+        b = g.add_node(labels=["q"])
+        g.add_edge(a, b, 1.0)
+        trees = exact_top_r_trees(g, ["p", "q"], 10, solver_cls=BasicSolver)
+        # Exactly one covering tree exists.
+        assert len(trees) == 1
+
+    def test_default_solver_on_midsize(self):
+        g = generators.random_graph(
+            25, 45, num_query_labels=3, label_frequency=3, seed=3
+        )
+        labels = ["q0", "q1", "q2"]
+        trees = exact_top_r_trees(g, labels, 4)
+        weights = [t.weight for t in trees]
+        assert weights == sorted(weights)
+        for tree in trees:
+            tree.validate(g, labels)
+
+    def test_exact_never_worse_than_approximate(self):
+        from repro.core.topr import top_r_trees
+
+        g = generators.random_graph(
+            20, 40, num_query_labels=3, label_frequency=3, seed=8
+        )
+        labels = ["q0", "q1", "q2"]
+        exact = exact_top_r_trees(g, labels, 3)
+        approx = top_r_trees(g, labels, 3)
+        # Same top-1; exact's k-th answer is never heavier than
+        # approximate's k-th (when both have a k-th).
+        assert exact[0].weight == pytest.approx(approx[0].weight)
+        for e, a in zip(exact, approx):
+            assert e.weight <= a.weight + 1e-9
+
+    def test_max_subproblems_bounds_work(self, diamond_graph):
+        trees = exact_top_r_trees(
+            diamond_graph, ["x", "y"], 50, max_subproblems=3,
+            solver_cls=BasicSolver,
+        )
+        assert len(trees) >= 1  # best answer always emitted

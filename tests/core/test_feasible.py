@@ -1,0 +1,152 @@
+"""Feasible-solution construction tests (Algorithms 1/2/4, lines 10-15)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Graph, GSTQuery
+from repro.core.context import QueryContext
+from repro.core.feasible import (
+    build_feasible_tree,
+    prune_redundant_leaves,
+    steiner_tree_from_edges,
+)
+from repro.core.tree import SteinerTree
+from repro.graph import generators
+
+
+def ctx_for(graph, labels):
+    return QueryContext.build(graph, GSTQuery(labels))
+
+
+class TestSteinerTreeFromEdges:
+    def test_empty_edges(self):
+        t = steiner_tree_from_edges([], anchor=5)
+        assert t.nodes == frozenset({5})
+        assert t.weight == 0.0
+
+    def test_duplicates_collapsed(self):
+        t = steiner_tree_from_edges(
+            [(0, 1, 2.0), (1, 0, 2.0), (0, 1, 2.0)], anchor=0
+        )
+        assert t.weight == 2.0
+        assert t.num_edges == 1
+
+    def test_cycle_resolved_by_mst(self):
+        t = steiner_tree_from_edges(
+            [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 5.0)], anchor=0
+        )
+        assert t.weight == 2.0
+
+    def test_disconnected_fragment_dropped(self):
+        t = steiner_tree_from_edges(
+            [(0, 1, 1.0), (5, 6, 1.0)], anchor=0
+        )
+        assert t.nodes == frozenset({0, 1})
+
+    def test_anchor_isolated(self):
+        t = steiner_tree_from_edges([(5, 6, 1.0)], anchor=0)
+        assert t.nodes == frozenset({0})
+
+
+class TestBuildFeasibleTree:
+    def test_from_seed_state(self, star_graph):
+        """State (a, {x}) at leaf a: feasible tree must cover y and z too."""
+        ctx = ctx_for(star_graph, ["x", "y", "z"])
+        tree = build_feasible_tree(ctx, [], root=1, covered_mask=0b001)
+        assert tree is not None
+        tree.validate(star_graph, ["x", "y", "z"])
+        # Optimal is the star (weight 6); the construction from 'a'
+        # unions the shortest paths a-h-b and a-h-c -> also weight 6.
+        assert tree.weight == pytest.approx(6.0)
+
+    def test_full_mask_returns_state_tree(self, path_graph):
+        ctx = ctx_for(path_graph, ["x", "y"])
+        state_edges = [(0, 1, 1.0), (1, 2, 2.0)]
+        tree = build_feasible_tree(ctx, state_edges, root=0, covered_mask=0b11)
+        assert tree.weight == pytest.approx(3.0)
+
+    def test_unreachable_label_returns_none(self):
+        g = Graph()
+        a = g.add_node(labels=["x"])
+        g.add_node(labels=["y"])  # disconnected
+        c = g.add_node()
+        g.add_edge(a, c, 1.0)
+        ctx = ctx_for(g, ["x", "y"])
+        assert build_feasible_tree(ctx, [], root=a, covered_mask=0b01) is None
+
+    def test_always_feasible_and_above_optimum(self):
+        """Property: the constructed tree is feasible and its weight is
+        an upper bound on (>= ) the optimum."""
+        from repro.core import brute_force_gst
+
+        for seed in range(10):
+            g = generators.random_graph(
+                10, 16, num_query_labels=3, label_frequency=2, seed=seed
+            )
+            labels = ["q0", "q1", "q2"]
+            optimum, _ = brute_force_gst(g, labels)
+            ctx = ctx_for(g, labels)
+            for root in g.nodes():
+                for mask in (0b001, 0b010, 0b100):
+                    # Simulate the seed state at a group member.
+                    label_index = mask.bit_length() - 1
+                    if not g.has_label(root, f"q{label_index}"):
+                        continue
+                    tree = build_feasible_tree(ctx, [], root, mask)
+                    assert tree is not None
+                    tree.validate(g, labels)
+                    assert tree.weight >= optimum - 1e-9
+
+
+class TestPruneRedundantLeaves:
+    def test_prunes_uncovering_branch(self):
+        """A dangling connector path is stripped after the MST union."""
+        g = Graph()
+        a = g.add_node(labels=["x"])
+        b = g.add_node(labels=["y"])
+        c = g.add_node()  # dead-end connector
+        g.add_edge(a, b, 1.0)
+        g.add_edge(b, c, 5.0)
+        ctx = ctx_for(g, ["x", "y"])
+        bloated = SteinerTree([(0, 1, 1.0), (1, 2, 5.0)])
+        pruned = prune_redundant_leaves(ctx, bloated)
+        assert pruned.weight == 1.0
+        assert pruned.nodes == frozenset({0, 1})
+
+    def test_keeps_sole_carriers(self, star_graph):
+        ctx = ctx_for(star_graph, ["x", "y", "z"])
+        star = SteinerTree.from_edge_pairs(star_graph, [(0, 1), (0, 2), (0, 3)])
+        pruned = prune_redundant_leaves(ctx, star)
+        assert pruned == star  # every leaf is a sole label carrier
+
+    def test_prunes_duplicate_carrier(self):
+        g = Graph()
+        a = g.add_node(labels=["x"])
+        b = g.add_node(labels=["y", "x"])
+        c = g.add_node(labels=["x"])  # redundant second x
+        g.add_edge(a, b, 1.0)
+        g.add_edge(b, c, 2.0)
+        ctx = ctx_for(g, ["x", "y"])
+        tree = SteinerTree([(0, 1, 1.0), (1, 2, 2.0)])
+        pruned = prune_redundant_leaves(ctx, tree)
+        # Both a and c are removable; pruning both leaves just b, which
+        # carries x and y itself.  Pruning must keep feasibility.
+        assert pruned.covers(g, ["x", "y"])
+        assert pruned.weight <= 1.0
+
+    def test_single_node_untouched(self, path_graph):
+        ctx = ctx_for(path_graph, ["x"])
+        t = SteinerTree.single_node(0)
+        assert prune_redundant_leaves(ctx, t) == t
+
+    def test_collapse_to_single_node(self):
+        g = Graph()
+        a = g.add_node(labels=["x", "y"])
+        b = g.add_node(labels=["x"])
+        g.add_edge(a, b, 3.0)
+        ctx = ctx_for(g, ["x", "y"])
+        tree = SteinerTree([(0, 1, 3.0)])
+        pruned = prune_redundant_leaves(ctx, tree)
+        assert pruned.nodes == frozenset({0})
+        assert pruned.weight == 0.0

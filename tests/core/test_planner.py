@@ -1,0 +1,65 @@
+"""Algorithm planner tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Graph, solve_gst
+from repro.core.allpaths import MAX_ALLPATHS_LABELS
+from repro.core.planner import plan_algorithm
+from repro.graph import generators
+
+
+class TestPlanAlgorithm:
+    def test_single_label_uses_basic(self, path_graph):
+        name, reason = plan_algorithm(path_graph, ["x"])
+        assert name == "basic"
+        assert "single-label" in reason
+
+    def test_duplicate_labels_count_once(self, path_graph):
+        name, _ = plan_algorithm(path_graph, ["x", "x"])
+        assert name == "basic"
+
+    def test_zero_weights_use_basic(self):
+        g = Graph()
+        a = g.add_node(labels=["x"])
+        b = g.add_node(labels=["y"])
+        g.add_edge(a, b, 0.0)
+        name, reason = plan_algorithm(g, ["x", "y"])
+        assert name == "basic"
+        assert "Theorem 1" in reason
+
+    def test_normal_query_uses_plusplus(self, star_graph):
+        name, _ = plan_algorithm(star_graph, ["x", "y", "z"])
+        assert name == "pruneddp++"
+
+    def test_huge_k_uses_plus(self):
+        k = MAX_ALLPATHS_LABELS + 2
+        g = generators.random_graph(
+            30, 60, num_query_labels=k, label_frequency=2, seed=0
+        )
+        name, reason = plan_algorithm(g, [f"q{i}" for i in range(k)])
+        assert name == "pruneddp+"
+        assert "table budget" in reason
+
+
+class TestAutoInFacade:
+    def test_auto_solves_correctly(self, star_graph):
+        result = solve_gst(star_graph, ["x", "y", "z"], algorithm="auto")
+        assert result.optimal
+        assert result.weight == pytest.approx(6.0)
+        assert result.algorithm == "PrunedDP++"
+
+    def test_auto_zero_weight_fallback(self):
+        g = Graph()
+        a = g.add_node(labels=["x"])
+        b = g.add_node(labels=["y"])
+        g.add_edge(a, b, 0.0)
+        result = solve_gst(g, ["x", "y"], algorithm="auto")
+        assert result.optimal
+        assert result.weight == 0.0
+        assert result.algorithm == "Basic"
+
+    def test_unknown_still_rejected(self, star_graph):
+        with pytest.raises(ValueError):
+            solve_gst(star_graph, ["x"], algorithm="automagic")

@@ -1,0 +1,84 @@
+"""GSTQuery validation and bitmask mapping tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Graph, GSTQuery, InfeasibleQueryError, QueryError
+from repro.core.query import MAX_QUERY_LABELS
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(QueryError):
+            GSTQuery([])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(QueryError):
+            GSTQuery(["a", "a"])
+
+    def test_too_many_labels_rejected(self):
+        with pytest.raises(QueryError):
+            GSTQuery(range(MAX_QUERY_LABELS + 1))
+
+    def test_max_allowed(self):
+        q = GSTQuery(range(MAX_QUERY_LABELS))
+        assert q.k == MAX_QUERY_LABELS
+
+    def test_order_preserved(self):
+        q = GSTQuery(["b", "a", "c"])
+        assert q.labels == ("b", "a", "c")
+        assert q.index_of("a") == 1
+
+
+class TestMasks:
+    def test_full_mask(self):
+        assert GSTQuery(["a"]).full_mask == 1
+        assert GSTQuery(["a", "b", "c"]).full_mask == 7
+
+    def test_mask_of(self):
+        q = GSTQuery(["a", "b", "c"])
+        assert q.mask_of(["a"]) == 1
+        assert q.mask_of(["c", "a"]) == 5
+        assert q.mask_of([]) == 0
+
+    def test_mask_of_foreign_label_raises(self):
+        with pytest.raises(QueryError):
+            GSTQuery(["a"]).mask_of(["z"])
+
+    def test_labels_of_mask(self):
+        q = GSTQuery(["a", "b", "c"])
+        assert q.labels_of_mask(0b101) == ("a", "c")
+        assert q.labels_of_mask(0) == ()
+
+    def test_round_trip(self):
+        q = GSTQuery(["p", "q", "r", "s"])
+        for mask in range(16):
+            assert q.mask_of(q.labels_of_mask(mask)) == mask
+
+    def test_node_mask(self):
+        g = Graph()
+        v = g.add_node(labels=["a", "c", "other"])
+        q = GSTQuery(["a", "b", "c"])
+        assert q.node_mask(g, v) == 0b101
+
+
+class TestGroups:
+    def test_groups_built(self, star_graph):
+        q = GSTQuery(["x", "y"])
+        groups = q.groups(star_graph)
+        assert groups == [[1], [2]]
+
+    def test_missing_label_raises_infeasible(self, star_graph):
+        with pytest.raises(InfeasibleQueryError):
+            GSTQuery(["x", "ghost"]).groups(star_graph)
+
+
+class TestEquality:
+    def test_eq_and_hash(self):
+        assert GSTQuery(["a", "b"]) == GSTQuery(["a", "b"])
+        assert GSTQuery(["a", "b"]) != GSTQuery(["b", "a"])
+        assert hash(GSTQuery(["a"])) == hash(GSTQuery(["a"]))
+
+    def test_repr(self):
+        assert "a" in repr(GSTQuery(["a"]))

@@ -1,0 +1,84 @@
+"""Result/ProgressPoint value-type tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.result import GSTResult, ProgressPoint, SearchStats
+
+INF = float("inf")
+
+
+def make_result(**overrides):
+    defaults = dict(
+        algorithm="T",
+        labels=("a",),
+        tree=None,
+        weight=10.0,
+        lower_bound=5.0,
+        optimal=False,
+        stats=SearchStats(),
+        trace=[],
+    )
+    defaults.update(overrides)
+    return GSTResult(**defaults)
+
+
+class TestProgressPoint:
+    def test_ratio(self):
+        assert ProgressPoint(0.0, 10.0, 5.0).ratio == 2.0
+
+    def test_ratio_clamped_at_one(self):
+        assert ProgressPoint(0.0, 5.0, 5.0 + 1e-15).ratio == 1.0
+
+    def test_no_feasible_yet(self):
+        assert ProgressPoint(0.0, INF, 3.0).ratio == INF
+
+    def test_no_lower_bound_yet(self):
+        assert ProgressPoint(0.0, 10.0, 0.0).ratio == INF
+
+    def test_zero_weight_solution(self):
+        assert ProgressPoint(0.0, 0.0, 0.0).ratio == 1.0
+
+
+class TestGSTResult:
+    def test_optimal_ratio_is_one(self):
+        assert make_result(optimal=True).ratio == 1.0
+
+    def test_nonoptimal_ratio(self):
+        assert make_result().ratio == 2.0
+
+    def test_ratio_without_bound(self):
+        assert make_result(lower_bound=0.0).ratio == INF
+
+    def test_time_to_ratio(self):
+        trace = [
+            ProgressPoint(0.1, INF, 2.0),
+            ProgressPoint(0.2, 20.0, 4.0),   # ratio 5
+            ProgressPoint(0.3, 20.0, 10.0),  # ratio 2
+            ProgressPoint(0.4, 10.0, 10.0),  # ratio 1
+        ]
+        result = make_result(trace=trace, weight=10.0, optimal=True)
+        assert result.time_to_ratio(8.0) == pytest.approx(0.2)
+        assert result.time_to_ratio(2.0) == pytest.approx(0.3)
+        assert result.time_to_ratio(1.0) == pytest.approx(0.4)
+
+    def test_time_to_ratio_unreached(self):
+        result = make_result(trace=[ProgressPoint(0.1, 20.0, 4.0)])
+        assert result.time_to_ratio(1.0) is None
+
+    def test_repr(self):
+        assert "optimal" in repr(make_result(optimal=True))
+        assert "ratio<=" in repr(make_result())
+
+
+class TestSearchStats:
+    def test_estimated_bytes_scales_with_states(self):
+        small = SearchStats(peak_live_states=10)
+        big = SearchStats(peak_live_states=1000)
+        assert big.estimated_bytes > small.estimated_bytes
+
+    def test_table_entries_counted(self):
+        with_tables = SearchStats(peak_live_states=10, table_entries=1000)
+        without = SearchStats(peak_live_states=10)
+        assert with_tables.estimated_bytes > without.estimated_bytes

@@ -1,0 +1,97 @@
+"""StateStore and bit-iteration tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.state import StateStore, iter_bits, popcount
+
+
+class TestBitHelpers:
+    def test_iter_bits(self):
+        assert list(iter_bits(0)) == []
+        assert list(iter_bits(1)) == [0]
+        assert list(iter_bits(0b1011)) == [0, 1, 3]
+
+    def test_popcount(self):
+        assert popcount(0) == 0
+        assert popcount(0b1011) == 3
+        assert popcount((1 << 20) - 1) == 20
+
+
+class TestStateStore:
+    def test_settle_and_lookup(self):
+        store = StateStore(4)
+        store.settle(2, 0b01, 3.0, ("seed", 0))
+        assert store.contains(2, 0b01)
+        assert not store.contains(2, 0b10)
+        assert store.cost(2, 0b01) == 3.0
+        assert store.cost_or_none(2, 0b10) is None
+        assert store.backpointer(2, 0b01) == ("seed", 0)
+        assert len(store) == 1
+
+    def test_masks_at(self):
+        store = StateStore(3)
+        store.settle(1, 0b01, 1.0, ("seed", 0))
+        store.settle(1, 0b10, 2.0, ("seed", 1))
+        store.settle(2, 0b01, 3.0, ("seed", 0))
+        assert store.masks_at(1) == {0b01: 1.0, 0b10: 2.0}
+
+    def test_reopen(self):
+        store = StateStore(2)
+        store.settle(0, 1, 1.0, ("seed", 0))
+        store.reopen(0, 1)
+        assert not store.contains(0, 1)
+        assert len(store) == 0
+        store.reopen(0, 1)  # idempotent
+
+    def test_peak_size(self):
+        store = StateStore(2)
+        store.settle(0, 1, 1.0, ("seed", 0))
+        store.settle(1, 1, 1.0, ("seed", 0))
+        store.reopen(0, 1)
+        assert len(store) == 1
+        assert store.peak_size == 2
+
+    def test_missing_cost_raises(self):
+        with pytest.raises(KeyError):
+            StateStore(1).cost(0, 1)
+
+
+class TestTreeReconstruction:
+    def test_seed_state_has_no_edges(self):
+        store = StateStore(1)
+        store.settle(0, 1, 0.0, ("seed", 0))
+        assert store.tree_edges(0, 1) == []
+
+    def test_grow_chain(self):
+        # (2,{0}) grown from (1,{0}) grown from (0,{0}).
+        store = StateStore(3)
+        store.settle(0, 1, 0.0, ("seed", 0))
+        store.settle(1, 1, 2.0, ("grow", 0, 2.0))
+        store.settle(2, 1, 5.0, ("grow", 1, 3.0))
+        edges = sorted(store.tree_edges(2, 1))
+        assert edges == [(1, 0, 2.0), (2, 1, 3.0)]
+
+    def test_merge(self):
+        store = StateStore(3)
+        store.settle(0, 0b01, 0.0, ("seed", 0))
+        store.settle(1, 0b01, 1.0, ("grow", 0, 1.0))
+        store.settle(2, 0b10, 0.0, ("seed", 1))
+        store.settle(1, 0b10, 4.0, ("grow", 2, 4.0))
+        store.settle(1, 0b11, 5.0, ("merge", 0b01, 0b10))
+        edges = sorted(store.tree_edges(1, 0b11))
+        assert edges == [(1, 0, 1.0), (1, 2, 4.0)]
+
+    def test_override_for_pending_state(self):
+        store = StateStore(2)
+        store.settle(0, 1, 0.0, ("seed", 0))
+        # Pending state (1, 1) derived by growing — not settled yet.
+        edges = store.tree_edges(1, 1, override=(1, 1, ("grow", 0, 7.0)))
+        assert edges == [(1, 0, 7.0)]
+
+    def test_unknown_backpointer_kind(self):
+        store = StateStore(1)
+        store.settle(0, 1, 0.0, ("banana",))
+        with pytest.raises(ValueError):
+            store.tree_edges(0, 1)

@@ -1,0 +1,75 @@
+"""Classic (terminal) Steiner tree reduction tests."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro import Graph, QueryError
+from repro.core import steiner_tree, steiner_tree_weight
+from repro.graph import generators
+
+
+class TestSteinerTree:
+    def test_two_terminals_is_shortest_path(self, diamond_graph):
+        result = steiner_tree(diamond_graph, [0, 3])
+        assert result.optimal
+        assert result.weight == pytest.approx(2.0)
+
+    def test_single_terminal(self, path_graph):
+        result = steiner_tree(path_graph, [1])
+        assert result.weight == 0.0
+        assert result.tree.nodes == frozenset({1})
+
+    def test_duplicates_collapsed(self, path_graph):
+        result = steiner_tree(path_graph, [0, 0, 2, 2])
+        assert result.weight == pytest.approx(3.0)
+
+    def test_empty_terminals_rejected(self, path_graph):
+        with pytest.raises(QueryError):
+            steiner_tree(path_graph, [])
+
+    def test_steiner_node_used(self, star_graph):
+        result = steiner_tree(star_graph, [1, 2, 3])
+        assert result.weight == pytest.approx(6.0)
+        assert 0 in result.tree.nodes  # hub is a non-terminal
+
+    def test_original_graph_unmodified(self, path_graph):
+        before = [path_graph.labels_of(v) for v in path_graph.nodes()]
+        steiner_tree(path_graph, [0, 2])
+        after = [path_graph.labels_of(v) for v in path_graph.nodes()]
+        assert before == after
+
+    def test_labels_report_terminals(self, path_graph):
+        result = steiner_tree(path_graph, [0, 2])
+        assert result.labels == (0, 2)
+
+    def test_matches_networkx_approximation_bound(self):
+        """networkx's Steiner approximation is never better than our
+        exact answer and at most 2x worse (its guarantee)."""
+        from networkx.algorithms.approximation import steiner_tree as nx_steiner
+
+        for seed in range(5):
+            g = generators.random_graph(20, 45, seed=seed)
+            nxg = nx.Graph()
+            for u, v, w in g.edges():
+                nxg.add_edge(u, v, weight=w)
+            terminals = [1, 5, 11, 17]
+            exact = steiner_tree_weight(g, terminals)
+            approx_tree = nx_steiner(nxg, terminals, weight="weight")
+            approx = sum(d["weight"] for _, _, d in approx_tree.edges(data=True))
+            assert exact <= approx + 1e-9
+            assert approx <= 2.0 * exact + 1e-9
+
+    def test_all_algorithms_agree(self, star_graph):
+        weights = {
+            steiner_tree(star_graph, [1, 2, 3], algorithm=name).weight
+            for name in ("basic", "pruneddp", "pruneddp++", "dpbf")
+        }
+        assert len(weights) == 1
+
+    def test_invalid_terminal_rejected(self, path_graph):
+        from repro import GraphError
+
+        with pytest.raises(GraphError):
+            steiner_tree(path_graph, [99])

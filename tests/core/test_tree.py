@@ -1,0 +1,127 @@
+"""SteinerTree value-object tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Graph, GraphError, SteinerTree
+
+
+class TestConstruction:
+    def test_single_node(self):
+        t = SteinerTree.single_node(7)
+        assert t.weight == 0.0
+        assert t.nodes == frozenset({7})
+        assert t.edges == ()
+        assert t.num_edges == 0
+
+    def test_edges_normalized_and_sorted(self):
+        t = SteinerTree([(3, 1, 2.0), (1, 0, 1.0)])
+        assert t.edges == ((0, 1, 1.0), (1, 3, 2.0))
+        assert t.weight == 3.0
+        assert t.nodes == frozenset({0, 1, 3})
+
+    def test_empty_without_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            SteinerTree([])
+
+    def test_from_edge_pairs(self, path_graph):
+        t = SteinerTree.from_edge_pairs(path_graph, [(0, 1), (1, 2)])
+        assert t.weight == 3.0
+
+
+class TestQueries:
+    def test_covers(self, path_graph):
+        t = SteinerTree.from_edge_pairs(path_graph, [(0, 1), (1, 2)])
+        assert t.covers(path_graph, ["x", "y"])
+        assert not t.covers(path_graph, ["x", "ghost"])
+        assert t.covers(path_graph, [])
+
+    def test_degree_map(self):
+        t = SteinerTree([(0, 1, 1.0), (1, 2, 1.0)])
+        assert t.degree_map() == {0: 1, 1: 2, 2: 1}
+
+    def test_equality_and_hash(self):
+        a = SteinerTree([(0, 1, 1.0)])
+        b = SteinerTree([(1, 0, 1.0)])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != SteinerTree([(0, 1, 2.0)])
+        assert a != SteinerTree.single_node(0)
+
+
+class TestValidate:
+    def test_valid_tree_passes(self, path_graph):
+        t = SteinerTree.from_edge_pairs(path_graph, [(0, 1), (1, 2)])
+        t.validate(path_graph, ["x", "y"])
+
+    def test_missing_edge_rejected(self, path_graph):
+        t = SteinerTree([(0, 2, 1.0)])
+        with pytest.raises(GraphError):
+            t.validate(path_graph)
+
+    def test_wrong_weight_rejected(self, path_graph):
+        t = SteinerTree([(0, 1, 99.0)])
+        with pytest.raises(GraphError):
+            t.validate(path_graph)
+
+    def test_cycle_rejected(self, star_graph):
+        t = SteinerTree([(0, 1, 1.0), (0, 2, 2.0), (1, 2, 10.0)])
+        with pytest.raises(GraphError):
+            t.validate(star_graph)
+
+    def test_uncovered_label_rejected(self, path_graph):
+        t = SteinerTree([(0, 1, 1.0)])
+        with pytest.raises(GraphError) as err:
+            t.validate(path_graph, ["x", "y"])
+        assert "y" in str(err.value)
+
+    def test_single_node_coverage(self):
+        g = Graph()
+        v = g.add_node(labels=["a", "b"])
+        SteinerTree.single_node(v).validate(g, ["a", "b"])
+
+
+class TestRender:
+    def test_single_node_render(self, path_graph):
+        out = SteinerTree.single_node(0).render(path_graph)
+        assert out.startswith("*")
+        assert "a" in out
+
+    def test_tree_render_contains_all_nodes(self, star_graph):
+        t = SteinerTree.from_edge_pairs(star_graph, [(0, 1), (0, 2), (0, 3)])
+        out = t.render(star_graph)
+        for name in ("h", "a", "b", "c"):
+            assert name in out
+        # Root is the hub (highest degree).
+        assert out.splitlines()[0].startswith("* h")
+
+    def test_render_explicit_root(self, star_graph):
+        t = SteinerTree.from_edge_pairs(star_graph, [(0, 1), (0, 2)])
+        out = t.render(star_graph, root=1)
+        assert out.splitlines()[0].startswith("* a")
+
+    def test_repr(self):
+        assert "weight=1" in repr(SteinerTree([(0, 1, 1.0)]))
+
+
+class TestToDot:
+    def test_dot_structure(self, star_graph):
+        t = SteinerTree.from_edge_pairs(star_graph, [(0, 1), (0, 2)])
+        dot = t.to_dot(star_graph)
+        assert dot.startswith("graph gst {")
+        assert dot.rstrip().endswith("}")
+        assert 'n0 -- n1 [label="1"]' in dot
+        assert 'n0 -- n2 [label="2"]' in dot
+
+    def test_dot_uses_names_and_labels(self, star_graph):
+        t = SteinerTree.from_edge_pairs(star_graph, [(0, 1)])
+        dot = t.to_dot(star_graph, name="answer")
+        assert "graph answer {" in dot
+        assert '"a' in dot  # node name
+        assert "x" in dot   # node label
+
+    def test_dot_single_node(self, path_graph):
+        dot = SteinerTree.single_node(0).to_dot(path_graph)
+        assert "n0" in dot
+        assert "--" not in dot

@@ -1,0 +1,98 @@
+"""Connectivity helper tests."""
+
+from __future__ import annotations
+
+from repro import Graph
+from repro.graph.components import (
+    component_covering_labels,
+    component_ids,
+    components_covering_labels,
+    connected_components,
+    is_connected,
+)
+
+
+def two_component_graph():
+    g = Graph()
+    a = g.add_node(labels=["x"])
+    b = g.add_node(labels=["y"])
+    g.add_edge(a, b, 1.0)
+    c = g.add_node(labels=["x"])
+    d = g.add_node(labels=["z"])
+    g.add_edge(c, d, 1.0)
+    return g
+
+
+class TestComponents:
+    def test_empty_graph(self):
+        g = Graph()
+        assert connected_components(g) == []
+        assert is_connected(g)
+
+    def test_single_node(self):
+        g = Graph()
+        g.add_node()
+        assert connected_components(g) == [[0]]
+        assert is_connected(g)
+
+    def test_two_components(self):
+        g = two_component_graph()
+        comps = connected_components(g)
+        assert sorted(map(sorted, comps)) == [[0, 1], [2, 3]]
+        assert not is_connected(g)
+
+    def test_component_ids_consistent(self):
+        g = two_component_graph()
+        ids = component_ids(g)
+        assert ids[0] == ids[1]
+        assert ids[2] == ids[3]
+        assert ids[0] != ids[2]
+
+    def test_isolated_nodes_are_components(self):
+        g = Graph()
+        g.add_node()
+        g.add_node()
+        assert len(connected_components(g)) == 2
+
+
+class TestCoveringComponent:
+    def test_finds_covering_component(self):
+        g = two_component_graph()
+        nodes = component_covering_labels(g, ["x", "y"])
+        assert sorted(nodes) == [0, 1]
+        nodes = component_covering_labels(g, ["x", "z"])
+        assert sorted(nodes) == [2, 3]
+
+    def test_none_when_labels_split(self):
+        g = two_component_graph()
+        assert component_covering_labels(g, ["y", "z"]) is None
+
+    def test_none_for_unknown_label(self):
+        g = two_component_graph()
+        assert component_covering_labels(g, ["nope"]) is None
+
+    def test_none_for_empty_labels(self):
+        g = two_component_graph()
+        assert component_covering_labels(g, []) is None
+
+    def test_multiple_covering_components(self):
+        g = two_component_graph()
+        comps = components_covering_labels(g, ["x"])
+        assert sorted(map(sorted, comps)) == [[0, 1], [2, 3]]
+
+    def test_components_covering_none(self):
+        g = two_component_graph()
+        assert components_covering_labels(g, ["y", "z"]) == []
+
+    def test_smallest_component_preferred(self):
+        g = Graph()
+        # Big component with label x.
+        nodes = [g.add_node(labels=["x"]) for _ in range(5)]
+        for u, v in zip(nodes, nodes[1:]):
+            g.add_edge(u, v, 1.0)
+        # Small component with label x.
+        a = g.add_node(labels=["x"])
+        b = g.add_node()
+        g.add_edge(a, b, 1.0)
+        chosen = component_covering_labels(g, ["x"])
+        assert sorted(chosen) == [5, 6]

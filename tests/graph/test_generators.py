@@ -1,0 +1,173 @@
+"""Tests for the synthetic dataset generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import generators
+from repro.graph.components import is_connected
+
+
+class TestRandomGraph:
+    def test_connected_by_default(self):
+        g = generators.random_graph(30, 50, seed=0)
+        assert is_connected(g)
+        assert g.num_nodes == 30
+        assert g.num_edges >= 29
+        g.validate()
+
+    def test_deterministic(self):
+        g1 = generators.random_graph(20, 40, seed=5)
+        g2 = generators.random_graph(20, 40, seed=5)
+        assert list(g1.edges()) == list(g2.edges())
+        assert [g1.labels_of(v) for v in g1.nodes()] == [
+            g2.labels_of(v) for v in g2.nodes()
+        ]
+
+    def test_different_seeds_differ(self):
+        g1 = generators.random_graph(20, 40, seed=1)
+        g2 = generators.random_graph(20, 40, seed=2)
+        assert list(g1.edges()) != list(g2.edges())
+
+    def test_query_labels_attached(self):
+        g = generators.random_graph(
+            30, 50, num_query_labels=4, label_frequency=5, seed=0
+        )
+        for i in range(4):
+            assert g.label_frequency(f"q{i}") == 5
+
+    def test_weights_in_range(self):
+        g = generators.random_graph(15, 30, weight_range=(2.0, 3.0), seed=0)
+        for _, _, w in g.edges():
+            assert 2.0 <= w <= 3.0
+
+    def test_disconnected_allowed(self):
+        g = generators.random_graph(30, 3, connected=False, seed=0)
+        assert g.num_edges <= 3
+
+
+class TestDblpLike:
+    def test_structure(self):
+        g = generators.dblp_like(num_papers=80, num_authors=50, seed=0)
+        assert g.num_nodes == 130
+        assert is_connected(g)
+        g.validate()
+        papers = g.nodes_with_label("kind:paper")
+        authors = g.nodes_with_label("kind:author")
+        assert len(papers) == 80
+        assert len(authors) == 50
+
+    def test_author_name_labels(self):
+        g = generators.dblp_like(num_papers=20, num_authors=10, seed=0)
+        assert g.label_frequency("author:0") == 1
+
+    def test_query_pool_frequency(self):
+        g = generators.dblp_like(
+            num_papers=60, num_authors=40,
+            num_query_labels=8, label_frequency=6, seed=1,
+        )
+        for i in range(8):
+            assert g.label_frequency(f"q{i}") == 6
+
+    def test_deterministic(self):
+        a = generators.dblp_like(num_papers=40, num_authors=30, seed=3)
+        b = generators.dblp_like(num_papers=40, num_authors=30, seed=3)
+        assert list(a.edges()) == list(b.edges())
+
+
+class TestImdbLike:
+    def test_structure(self):
+        g = generators.imdb_like(num_movies=70, num_people=40, seed=0)
+        assert g.num_nodes == 110
+        assert is_connected(g)
+        g.validate()
+
+    def test_preferential_reuse_creates_hubs(self):
+        g = generators.imdb_like(num_movies=300, num_people=120, seed=0)
+        people = g.nodes_with_label("kind:person")
+        degrees = sorted((g.degree(p) for p in people), reverse=True)
+        # Heavy tail: the busiest person far exceeds the median person.
+        median = degrees[len(degrees) // 2]
+        assert degrees[0] >= max(4, 3 * max(median, 1))
+
+
+class TestPowerlaw:
+    def test_structure(self):
+        g = generators.powerlaw(200, edges_per_node=3, seed=0)
+        assert g.num_nodes == 200
+        assert is_connected(g)
+        g.validate()
+
+    def test_heavy_tailed_degrees(self):
+        g = generators.powerlaw(500, edges_per_node=3, seed=1)
+        degrees = sorted((g.degree(v) for v in g.nodes()), reverse=True)
+        assert degrees[0] > 10 * degrees[len(degrees) // 2] / 3
+
+    def test_too_small_raises(self):
+        with pytest.raises(ValueError):
+            generators.powerlaw(3, edges_per_node=3)
+
+
+class TestRoadGrid:
+    def test_structure(self):
+        g = generators.road_grid(8, 9, seed=0)
+        assert g.num_nodes == 72
+        assert is_connected(g)
+        g.validate()
+
+    def test_degree_bounded(self):
+        g = generators.road_grid(10, 10, diagonal_probability=0.0, seed=0)
+        assert max(g.degree(v) for v in g.nodes()) <= 4
+
+    def test_large_diameter_vs_powerlaw(self):
+        """The road topology has a far larger diameter — the structural
+        contrast driving paper Figs 14 vs 15."""
+        from repro.graph.shortest_paths import dijkstra
+
+        road = generators.road_grid(12, 12, seed=0)
+        power = generators.powerlaw(144, edges_per_node=3, seed=0)
+
+        def hop_eccentricity(graph):
+            # unweighted eccentricity from node 0
+            dist = [-1] * graph.num_nodes
+            dist[0] = 0
+            frontier = [0]
+            while frontier:
+                nxt = []
+                for u in frontier:
+                    for v, _ in graph.neighbors(u):
+                        if dist[v] < 0:
+                            dist[v] = dist[u] + 1
+                            nxt.append(v)
+                frontier = nxt
+            return max(dist)
+
+        assert hop_eccentricity(road) > 2 * hop_eccentricity(power)
+
+
+class TestAttachQueryLabels:
+    def test_restricted_node_set(self):
+        import random
+
+        g = generators.random_graph(20, 30, num_query_labels=0, seed=0)
+        rng = random.Random(0)
+        generators.attach_query_labels(g, 2, 3, rng, nodes=range(5))
+        for i in range(2):
+            members = g.nodes_with_label(f"q{i}")
+            assert len(members) == 3
+            assert all(m < 5 for m in members)
+
+    def test_frequency_capped_at_population(self):
+        import random
+
+        g = generators.random_graph(4, 4, num_query_labels=0, seed=0)
+        generators.attach_query_labels(g, 1, 100, random.Random(0))
+        assert g.label_frequency("q0") == 4
+
+    def test_empty_nodes_raises(self):
+        import random
+
+        from repro.graph.graph import Graph
+
+        with pytest.raises(ValueError):
+            generators.attach_query_labels(Graph(), 1, 2, random.Random(0))

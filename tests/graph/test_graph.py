@@ -1,0 +1,183 @@
+"""Tests for the core Graph container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Graph, GraphError
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = Graph()
+        assert g.num_nodes == 0
+        assert g.num_edges == 0
+        assert g.num_labels == 0
+        assert g.min_edge_weight == float("inf")
+
+    def test_add_node_returns_dense_ids(self):
+        g = Graph()
+        assert [g.add_node() for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_add_node_with_labels(self):
+        g = Graph()
+        v = g.add_node(labels=["a", "b"])
+        assert g.labels_of(v) == frozenset({"a", "b"})
+        assert list(g.nodes_with_label("a")) == [v]
+        assert g.label_frequency("a") == 1
+        assert g.label_frequency("missing") == 0
+
+    def test_add_labels_later(self):
+        g = Graph()
+        v = g.add_node(labels=["a"])
+        g.add_labels(v, ["b", "a"])
+        assert g.labels_of(v) == frozenset({"a", "b"})
+        assert g.label_frequency("b") == 1
+        # Re-adding is a no-op, not a duplicate group entry.
+        g.add_labels(v, ["b"])
+        assert g.label_frequency("b") == 1
+
+    def test_add_edge(self):
+        g = Graph()
+        a, b = g.add_node(), g.add_node()
+        g.add_edge(a, b, 2.5)
+        assert g.num_edges == 1
+        assert g.edge_weight(a, b) == 2.5
+        assert g.edge_weight(b, a) == 2.5
+        assert g.has_edge(a, b)
+        assert g.total_weight == 2.5
+        assert g.min_edge_weight == 2.5
+
+    def test_parallel_edges_keep_minimum(self):
+        g = Graph()
+        a, b = g.add_node(), g.add_node()
+        g.add_edge(a, b, 5.0)
+        g.add_edge(a, b, 2.0)
+        g.add_edge(a, b, 9.0)
+        assert g.num_edges == 1
+        assert g.edge_weight(a, b) == 2.0
+        assert g.total_weight == 2.0
+
+    def test_self_loop_rejected(self):
+        g = Graph()
+        a = g.add_node()
+        with pytest.raises(GraphError):
+            g.add_edge(a, a, 1.0)
+
+    def test_bad_weights_rejected(self):
+        g = Graph()
+        a, b = g.add_node(), g.add_node()
+        for bad in (-1.0, float("inf"), float("nan")):
+            with pytest.raises(GraphError):
+                g.add_edge(a, b, bad)
+
+    def test_zero_weight_allowed(self):
+        g = Graph()
+        a, b = g.add_node(), g.add_node()
+        g.add_edge(a, b, 0.0)
+        assert g.min_edge_weight == 0.0
+
+    def test_invalid_node_id(self):
+        g = Graph()
+        g.add_node()
+        with pytest.raises(GraphError):
+            g.neighbors(5)
+        with pytest.raises(GraphError):
+            g.add_edge(0, 7)
+        with pytest.raises(GraphError):
+            g.labels_of(-1)
+
+
+class TestAccessors:
+    def test_edges_iterates_once_per_edge(self):
+        g = Graph()
+        nodes = [g.add_node() for _ in range(4)]
+        g.add_edge(nodes[0], nodes[1], 1.0)
+        g.add_edge(nodes[1], nodes[2], 2.0)
+        g.add_edge(nodes[2], nodes[3], 3.0)
+        edges = list(g.edges())
+        assert len(edges) == 3
+        assert all(u < v for u, v, _ in edges)
+        assert sum(w for _, _, w in edges) == 6.0
+
+    def test_degree(self):
+        g = Graph()
+        a, b, c = (g.add_node() for _ in range(3))
+        g.add_edge(a, b)
+        g.add_edge(a, c)
+        assert g.degree(a) == 2
+        assert g.degree(b) == 1
+
+    def test_edge_weight_missing_raises(self):
+        g = Graph()
+        a, b = g.add_node(), g.add_node()
+        with pytest.raises(GraphError):
+            g.edge_weight(a, b)
+
+    def test_all_labels(self):
+        g = Graph()
+        g.add_node(labels=["a"])
+        g.add_node(labels=["b", "a"])
+        assert sorted(g.all_labels()) == ["a", "b"]
+        assert g.num_labels == 2
+
+
+class TestNames:
+    def test_round_trip(self):
+        g = Graph()
+        v = g.add_node(name="alice")
+        assert g.name_of(v) == "alice"
+        assert g.node_by_name("alice") == v
+        assert g.has_name("alice")
+        assert not g.has_name("bob")
+
+    def test_duplicate_name_rejected(self):
+        g = Graph()
+        g.add_node(name="x")
+        with pytest.raises(GraphError):
+            g.add_node(name="x")
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(GraphError):
+            Graph().node_by_name("ghost")
+
+    def test_unnamed_node(self):
+        g = Graph()
+        v = g.add_node()
+        assert g.name_of(v) is None
+
+
+class TestSubgraphAndCopy:
+    def test_subgraph_induced(self):
+        g = Graph()
+        nodes = [g.add_node(labels=[f"l{i}"], name=f"n{i}") for i in range(4)]
+        g.add_edge(nodes[0], nodes[1], 1.0)
+        g.add_edge(nodes[1], nodes[2], 2.0)
+        g.add_edge(nodes[2], nodes[3], 3.0)
+        sub, mapping = g.subgraph([nodes[0], nodes[1], nodes[2]])
+        assert sub.num_nodes == 3
+        assert sub.num_edges == 2
+        assert sub.labels_of(mapping[nodes[1]]) == frozenset({"l1"})
+        assert sub.name_of(mapping[nodes[2]]) == "n2"
+        sub.validate()
+
+    def test_copy_is_independent(self):
+        g = Graph()
+        a, b = g.add_node(labels=["x"]), g.add_node()
+        g.add_edge(a, b, 1.0)
+        clone = g.copy()
+        clone.add_node(labels=["y"])
+        clone.add_edge(a, b, 0.5)  # lowers the copy only
+        assert g.num_nodes == 2
+        assert g.edge_weight(a, b) == 1.0
+        assert clone.edge_weight(a, b) == 0.5
+        g.validate()
+        clone.validate()
+
+    def test_validate_passes_on_wellformed(self, path_graph):
+        path_graph.validate()
+
+    def test_repr(self):
+        g = Graph()
+        g.add_node(labels=["a"])
+        assert "n=1" in repr(g)

@@ -1,0 +1,197 @@
+"""Unit and property tests for the addressable binary heap."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.heap import IndexedHeap
+
+
+class TestBasics:
+    def test_empty(self):
+        h = IndexedHeap()
+        assert len(h) == 0
+        assert not h
+        assert "x" not in h
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            IndexedHeap().pop()
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(IndexError):
+            IndexedHeap().peek()
+
+    def test_push_pop_single(self):
+        h = IndexedHeap()
+        assert h.push("a", 1.0)
+        assert h.peek() == ("a", 1.0)
+        assert h.pop() == ("a", 1.0)
+        assert len(h) == 0
+
+    def test_pop_order(self):
+        h = IndexedHeap()
+        for key, pri in [("a", 3), ("b", 1), ("c", 2)]:
+            h.push(key, pri)
+        assert [h.pop()[0] for _ in range(3)] == ["b", "c", "a"]
+
+    def test_push_decreases_priority(self):
+        h = IndexedHeap()
+        h.push("a", 5.0)
+        assert h.push("a", 2.0)
+        assert h.priority_of("a") == 2.0
+        assert len(h) == 1
+
+    def test_push_ignores_worse_priority(self):
+        h = IndexedHeap()
+        h.push("a", 2.0)
+        assert not h.push("a", 5.0)
+        assert h.priority_of("a") == 2.0
+
+    def test_update_can_raise_priority(self):
+        h = IndexedHeap()
+        h.push("a", 1.0)
+        h.push("b", 2.0)
+        h.update("a", 9.0)
+        assert h.pop() == ("b", 2.0)
+        assert h.pop() == ("a", 9.0)
+
+    def test_update_inserts_when_absent(self):
+        h = IndexedHeap()
+        h.update("a", 4.0)
+        assert "a" in h
+        assert h.priority_of("a") == 4.0
+
+    def test_priority_of_missing_raises(self):
+        with pytest.raises(KeyError):
+            IndexedHeap().priority_of("nope")
+
+    def test_discard(self):
+        h = IndexedHeap()
+        for i in range(10):
+            h.push(i, 10 - i)
+        assert h.discard(5)
+        assert not h.discard(5)
+        assert 5 not in h
+        popped = [h.pop()[0] for _ in range(len(h))]
+        assert 5 not in popped
+        h.check_invariants()
+
+    def test_clear(self):
+        h = IndexedHeap()
+        h.push("a", 1)
+        h.clear()
+        assert len(h) == 0
+        assert "a" not in h
+
+    def test_iter_yields_all_keys(self):
+        h = IndexedHeap()
+        for i in range(6):
+            h.push(i, -i)
+        assert sorted(h) == list(range(6))
+
+    def test_tuple_keys(self):
+        h = IndexedHeap()
+        h.push((1, 2), 3.0)
+        h.push((1, 3), 1.0)
+        assert h.pop()[0] == (1, 3)
+
+
+class TestRandomized:
+    def test_heapsort_agreement(self):
+        rng = random.Random(42)
+        h = IndexedHeap()
+        items = {i: rng.uniform(0, 100) for i in range(500)}
+        for key, pri in items.items():
+            h.push(key, pri)
+        h.check_invariants()
+        popped = []
+        while h:
+            popped.append(h.pop()[1])
+        assert popped == sorted(items.values())
+
+    def test_decrease_key_storm(self):
+        rng = random.Random(7)
+        h = IndexedHeap()
+        best = {}
+        for _ in range(3000):
+            key = rng.randrange(100)
+            pri = rng.uniform(0, 1000)
+            h.push(key, pri)
+            if key not in best or pri < best[key]:
+                best[key] = pri
+        h.check_invariants()
+        out = {}
+        while h:
+            key, pri = h.pop()
+            out[key] = pri
+        assert out == best
+
+    def test_mixed_operations_invariants(self):
+        rng = random.Random(3)
+        h = IndexedHeap()
+        live = set()
+        for step in range(4000):
+            op = rng.random()
+            key = rng.randrange(60)
+            if op < 0.5:
+                h.push(key, rng.uniform(0, 100))
+                live.add(key)
+            elif op < 0.7 and h:
+                k, _ = h.pop()
+                live.discard(k)
+            elif op < 0.85:
+                h.update(key, rng.uniform(0, 100))
+                live.add(key)
+            else:
+                if h.discard(key):
+                    live.discard(key)
+            if step % 500 == 0:
+                h.check_invariants()
+                assert set(h) == live
+        h.check_invariants()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["push", "pop", "update", "discard"]),
+            st.integers(0, 15),
+            st.floats(0, 100, allow_nan=False),
+        ),
+        max_size=200,
+    )
+)
+def test_property_matches_reference_model(ops):
+    """The heap behaves like a dict + min scan under any op sequence."""
+    h = IndexedHeap()
+    model = {}
+    for op, key, pri in ops:
+        if op == "push":
+            h.push(key, pri)
+            if key not in model or pri < model[key]:
+                model[key] = pri
+        elif op == "update":
+            h.update(key, pri)
+            model[key] = pri
+        elif op == "discard":
+            assert h.discard(key) == (key in model)
+            model.pop(key, None)
+        else:  # pop
+            if model:
+                k, p = h.pop()
+                expected = min(model.values())
+                assert p == expected
+                assert model[k] == p
+                del model[k]
+            else:
+                assert len(h) == 0
+    h.check_invariants()
+    assert len(h) == len(model)
+    for key, pri in model.items():
+        assert h.priority_of(key) == pri

@@ -1,0 +1,87 @@
+"""Graph persistence round-trip tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Graph, GraphError
+from repro.graph import generators
+from repro.graph.io import load_graph, save_graph
+
+
+class TestRoundTrip:
+    def test_small_graph(self, tmp_path):
+        g = Graph()
+        a = g.add_node(labels=["x", "y"])
+        b = g.add_node()
+        c = g.add_node(labels=["z"])
+        g.add_edge(a, b, 1.5)
+        g.add_edge(b, c, 2.25)
+        stem = str(tmp_path / "g")
+        edges_path, labels_path = save_graph(g, stem)
+        assert edges_path.endswith(".edges")
+        assert labels_path.endswith(".labels")
+
+        loaded = load_graph(stem)
+        assert loaded.num_nodes == 3
+        assert loaded.num_edges == 2
+        assert loaded.edge_weight(0, 1) == 1.5
+        assert loaded.edge_weight(1, 2) == 2.25
+        assert loaded.labels_of(0) == frozenset({"x", "y"})
+        assert loaded.labels_of(1) == frozenset()
+        assert loaded.labels_of(2) == frozenset({"z"})
+
+    def test_random_graph_round_trip(self, tmp_path):
+        g = generators.random_graph(40, 80, num_query_labels=5, seed=3)
+        stem = str(tmp_path / "rand")
+        save_graph(g, stem)
+        loaded = load_graph(stem)
+        assert loaded.num_nodes == g.num_nodes
+        assert loaded.num_edges == g.num_edges
+        assert sorted(loaded.edges()) == sorted(g.edges())
+        for v in g.nodes():
+            assert loaded.labels_of(v) == frozenset(
+                str(x) for x in g.labels_of(v)
+            )
+
+    def test_isolated_trailing_nodes_preserved(self, tmp_path):
+        g = Graph()
+        g.add_node()
+        g.add_node()
+        g.add_node()  # no edges at all
+        stem = str(tmp_path / "iso")
+        save_graph(g, stem)
+        loaded = load_graph(stem)
+        assert loaded.num_nodes == 3
+        assert loaded.num_edges == 0
+
+    def test_weights_exact(self, tmp_path):
+        g = Graph()
+        a, b = g.add_node(), g.add_node()
+        g.add_edge(a, b, 0.1 + 0.2)  # repr round-trips floats exactly
+        stem = str(tmp_path / "w")
+        save_graph(g, stem)
+        assert load_graph(stem).edge_weight(0, 1) == 0.1 + 0.2
+
+
+class TestErrors:
+    def test_missing_edge_file(self, tmp_path):
+        with pytest.raises(GraphError):
+            load_graph(str(tmp_path / "ghost"))
+
+    def test_malformed_edge_line(self, tmp_path):
+        path = tmp_path / "bad.edges"
+        path.write_text("1\t2\n")
+        with pytest.raises(GraphError):
+            load_graph(str(tmp_path / "bad"))
+
+    def test_label_for_unknown_node(self, tmp_path):
+        (tmp_path / "x.edges").write_text("0\t1\t1.0\n")
+        (tmp_path / "x.labels").write_text("9\tfoo\n")
+        with pytest.raises(GraphError):
+            load_graph(str(tmp_path / "x"))
+
+    def test_missing_label_file_is_fine(self, tmp_path):
+        (tmp_path / "y.edges").write_text("0\t1\t1.0\n")
+        loaded = load_graph(str(tmp_path / "y"))
+        assert loaded.num_edges == 1

@@ -1,0 +1,81 @@
+"""MST and tree-predicate tests (networkx as oracle)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graph import generators
+from repro.graph.mst import is_tree, kruskal_mst, minimum_spanning_forest
+
+
+class TestKruskal:
+    def test_empty(self):
+        assert minimum_spanning_forest([]) == []
+        assert kruskal_mst([]) == ([], 0.0)
+
+    def test_single_edge(self):
+        tree, weight = kruskal_mst([(0, 1, 3.0)])
+        assert tree == [(0, 1, 3.0)]
+        assert weight == 3.0
+
+    def test_triangle_drops_heaviest(self):
+        edges = [(0, 1, 1.0), (1, 2, 2.0), (0, 2, 5.0)]
+        tree, weight = kruskal_mst(edges)
+        assert weight == 3.0
+        assert len(tree) == 2
+        assert (0, 2, 5.0) not in tree
+
+    def test_duplicate_edges_collapsed_to_min(self):
+        edges = [(0, 1, 5.0), (1, 0, 2.0), (0, 1, 7.0)]
+        tree, weight = kruskal_mst(edges)
+        assert tree == [(0, 1, 2.0)]
+        assert weight == 2.0
+
+    def test_self_loops_ignored(self):
+        tree, weight = kruskal_mst([(0, 0, 1.0), (0, 1, 2.0)])
+        assert tree == [(0, 1, 2.0)]
+
+    def test_forest_on_disconnected_input(self):
+        edges = [(0, 1, 1.0), (2, 3, 2.0)]
+        forest = minimum_spanning_forest(edges)
+        assert len(forest) == 2
+
+    def test_matches_networkx_weight(self):
+        for seed in range(8):
+            g = generators.random_graph(20, 45, seed=seed)
+            edges = list(g.edges())
+            _, weight = kruskal_mst(edges)
+            nxg = nx.Graph()
+            nxg.add_weighted_edges_from(edges)
+            expected = sum(
+                d["weight"] for _, _, d in nx.minimum_spanning_edges(nxg, data=True)
+            )
+            assert weight == pytest.approx(expected)
+
+    def test_arbitrary_hashable_nodes(self):
+        tree, weight = kruskal_mst([("a", "b", 1.0), ("b", "c", 2.0), ("a", "c", 9.0)])
+        assert weight == 3.0
+
+
+class TestIsTree:
+    def test_empty_is_tree(self):
+        assert is_tree([])
+
+    def test_single_edge(self):
+        assert is_tree([(0, 1, 1.0)])
+
+    def test_cycle_is_not_tree(self):
+        assert not is_tree([(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)])
+
+    def test_disconnected_is_not_tree(self):
+        assert not is_tree([(0, 1, 1.0), (2, 3, 1.0)])
+
+    def test_path_is_tree(self):
+        assert is_tree([(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)])
+
+    def test_mst_output_is_always_a_tree(self):
+        for seed in range(5):
+            g = generators.random_graph(15, 30, connected=True, seed=seed)
+            tree, _ = kruskal_mst(list(g.edges()))
+            assert is_tree(tree)

@@ -1,0 +1,97 @@
+"""Graph partitioning tests (the BLINKS index substrate)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Graph
+from repro.graph import generators
+from repro.graph.partition import Partition, bfs_partition
+from repro.graph.shortest_paths import multi_source_dijkstra
+
+
+class TestBfsPartition:
+    def test_every_node_assigned_once(self):
+        g = generators.random_graph(60, 130, seed=0)
+        partition = bfs_partition(g, 10)
+        partition.validate()
+        assert sorted(n for block in partition.blocks for n in block) == list(
+            g.nodes()
+        )
+
+    def test_block_size_respected(self):
+        g = generators.random_graph(80, 160, seed=1)
+        partition = bfs_partition(g, 12)
+        assert all(len(block) <= 12 for block in partition.blocks)
+
+    def test_blocks_connected(self):
+        g = generators.road_grid(10, 10, seed=2)
+        partition = bfs_partition(g, 9)
+        for members in partition.blocks:
+            # BFS-grown blocks are connected within the original graph.
+            member_set = set(members)
+            seen = {members[0]}
+            stack = [members[0]]
+            while stack:
+                node = stack.pop()
+                for neighbor, _ in g.neighbors(node):
+                    if neighbor in member_set and neighbor not in seen:
+                        seen.add(neighbor)
+                        stack.append(neighbor)
+            assert seen == member_set
+
+    def test_block_size_one(self):
+        g = generators.random_graph(15, 25, seed=3)
+        partition = bfs_partition(g, 1)
+        assert partition.num_blocks == 15
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            bfs_partition(Graph(), 0)
+
+    def test_disconnected_graph(self):
+        g = Graph()
+        a, b = g.add_node(), g.add_node()
+        g.add_edge(a, b, 1.0)
+        g.add_node()  # isolated
+        partition = bfs_partition(g, 10)
+        partition.validate()
+        assert partition.num_blocks == 2
+
+    def test_portals(self):
+        g = generators.road_grid(6, 6, seed=4)
+        partition = bfs_partition(g, 6)
+        for block in range(partition.num_blocks):
+            portals = partition.portals(block)
+            members = set(partition.blocks[block])
+            for portal in portals:
+                assert portal in members
+                assert any(
+                    partition.block_of(v) != block
+                    for v, _ in g.neighbors(portal)
+                )
+
+
+class TestBlockDistances:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_admissible_lower_bounds(self, seed):
+        """block_distances[b] <= true dist(v, sources) for every v in b."""
+        g = generators.random_graph(50, 110, seed=seed)
+        partition = bfs_partition(g, 8)
+        sources = [0, 7, 23]
+        source_blocks = sorted({partition.block_of(v) for v in sources})
+        block_lb = partition.block_distances(source_blocks)
+        true_dist, _ = multi_source_dijkstra(g, sources)
+        for v in g.nodes():
+            assert block_lb[partition.block_of(v)] <= true_dist[v] + 1e-9
+
+    def test_source_blocks_zero(self):
+        g = generators.random_graph(30, 60, seed=7)
+        partition = bfs_partition(g, 6)
+        lb = partition.block_distances([2])
+        assert lb[2] == 0.0
+
+    def test_assignment_length_validated(self):
+        g = generators.random_graph(5, 6, seed=8)
+        with pytest.raises(ValueError):
+            Partition(g, [0, 0])

@@ -1,0 +1,149 @@
+"""Dijkstra and virtual-node distance tests (networkx as oracle)."""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro import Graph
+from repro.graph import generators
+from repro.graph.shortest_paths import (
+    dijkstra,
+    label_enhanced_distances,
+    multi_source_dijkstra,
+    path_edges_to_source,
+    reconstruct_path,
+)
+
+INF = float("inf")
+
+
+def to_networkx(graph: Graph) -> nx.Graph:
+    nxg = nx.Graph()
+    nxg.add_nodes_from(graph.nodes())
+    for u, v, w in graph.edges():
+        nxg.add_edge(u, v, weight=w)
+    return nxg
+
+
+class TestSingleSource:
+    def test_path_graph(self, path_graph):
+        dist, parent = dijkstra(path_graph, 0)
+        assert dist == [0.0, 1.0, 3.0]
+        assert parent[0] == -1
+        assert reconstruct_path(parent, 2) == [2, 1, 0]
+
+    def test_unreachable(self):
+        g = Graph()
+        g.add_node()
+        g.add_node()
+        dist, parent = dijkstra(g, 0)
+        assert dist == [0.0, INF]
+        assert parent[1] == -1
+
+    def test_early_stop_with_targets(self, star_graph):
+        dist, _ = dijkstra(star_graph, 1, targets=[0])
+        assert dist[0] == 1.0  # hub reached
+
+    def test_matches_networkx_on_random_graphs(self):
+        for seed in range(8):
+            g = generators.random_graph(30, 60, seed=seed)
+            nxg = to_networkx(g)
+            source = seed % g.num_nodes
+            expected = nx.single_source_dijkstra_path_length(nxg, source)
+            dist, parent = dijkstra(g, source)
+            for node in g.nodes():
+                assert dist[node] == pytest.approx(expected.get(node, INF))
+            # Parent pointers reconstruct paths of exactly dist weight.
+            for node in g.nodes():
+                if dist[node] == INF or node == source:
+                    continue
+                edges = path_edges_to_source(parent, node)
+                total = sum(g.edge_weight(u, v) for u, v in edges)
+                assert total == pytest.approx(dist[node])
+
+    def test_bad_source_raises(self, path_graph):
+        with pytest.raises(IndexError):
+            dijkstra(path_graph, 99)
+
+
+class TestMultiSource:
+    def test_equivalent_to_virtual_node(self):
+        """Multi-source == Dijkstra from an explicit virtual node."""
+        for seed in range(6):
+            g = generators.random_graph(25, 50, seed=seed)
+            rng = random.Random(seed)
+            sources = rng.sample(range(g.num_nodes), 4)
+
+            dist, _ = multi_source_dijkstra(g, sources)
+
+            # Build the explicit virtual-node graph in networkx.
+            nxg = to_networkx(g)
+            virtual = "VIRTUAL"
+            for s in sources:
+                nxg.add_edge(virtual, s, weight=0.0)
+            expected = nx.single_source_dijkstra_path_length(nxg, virtual)
+            for node in g.nodes():
+                assert dist[node] == pytest.approx(expected.get(node, INF))
+
+    def test_sources_have_zero_distance(self, star_graph):
+        dist, parent = multi_source_dijkstra(star_graph, [1, 2])
+        assert dist[1] == 0.0 and dist[2] == 0.0
+        assert parent[1] == -1 and parent[2] == -1
+
+    def test_parent_walk_ends_at_a_source(self, star_graph):
+        dist, parent = multi_source_dijkstra(star_graph, [1, 2])
+        path = reconstruct_path(parent, 3)
+        assert path[-1] in (1, 2)
+        assert dist[3] == pytest.approx(
+            sum(star_graph.edge_weight(u, v) for u, v in zip(path, path[1:]))
+        )
+
+
+class TestLabelEnhancedDistances:
+    def test_matches_explicit_enhanced_graph(self):
+        """Teleport Dijkstra == Dijkstra on the materialized enhanced graph."""
+        for seed in range(6):
+            g = generators.random_graph(
+                24, 48, num_query_labels=4, label_frequency=3, seed=seed
+            )
+            groups = [list(g.nodes_with_label(f"q{i}")) for i in range(4)]
+            got = label_enhanced_distances(g, groups)
+
+            nxg = to_networkx(g)
+            for i, members in enumerate(groups):
+                for node in members:
+                    nxg.add_edge(("virt", i), node, weight=0.0)
+            for i in range(4):
+                expected = nx.single_source_dijkstra_path_length(nxg, ("virt", i))
+                for j in range(4):
+                    assert got[i][j] == pytest.approx(
+                        expected.get(("virt", j), INF)
+                    ), (seed, i, j)
+
+    def test_symmetry_and_zero_diagonal(self):
+        g = generators.random_graph(20, 35, num_query_labels=3, seed=1)
+        groups = [list(g.nodes_with_label(f"q{i}")) for i in range(3)]
+        d = label_enhanced_distances(g, groups)
+        for i in range(3):
+            assert d[i][i] == 0.0
+            for j in range(3):
+                assert d[i][j] == d[j][i]
+
+    def test_overlapping_groups_distance_zero(self):
+        g = Graph()
+        v = g.add_node(labels=["a", "b"])
+        w = g.add_node(labels=["c"])
+        g.add_edge(v, w, 5.0)
+        d = label_enhanced_distances(g, [[v], [v], [w]])
+        assert d[0][1] == 0.0
+        assert d[0][2] == 5.0
+
+    def test_disconnected_groups_inf(self):
+        g = Graph()
+        a = g.add_node(labels=["a"])
+        b = g.add_node(labels=["b"])
+        d = label_enhanced_distances(g, [[a], [b]])
+        assert d[0][1] == INF

@@ -1,0 +1,97 @@
+"""Tests for the disjoint-set structure."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.union_find import UnionFind
+
+
+class TestBasics:
+    def test_auto_registration(self):
+        uf = UnionFind()
+        assert uf.find("a") == "a"
+        assert "a" in uf
+        assert len(uf) == 1
+        assert uf.num_components == 1
+
+    def test_preregistered_items(self):
+        uf = UnionFind(["a", "b", "c"])
+        assert len(uf) == 3
+        assert uf.num_components == 3
+
+    def test_union_merges(self):
+        uf = UnionFind()
+        assert uf.union(1, 2)
+        assert uf.connected(1, 2)
+        assert not uf.union(1, 2)
+        assert uf.num_components == 1
+
+    def test_transitivity(self):
+        uf = UnionFind()
+        uf.union(1, 2)
+        uf.union(2, 3)
+        assert uf.connected(1, 3)
+        assert not uf.connected(1, 4)
+        assert uf.num_components == 2  # {1,2,3} and {4}
+
+    def test_component_count(self):
+        uf = UnionFind(range(10))
+        for i in range(0, 10, 2):
+            uf.union(i, i + 1)
+        assert uf.num_components == 5
+
+    def test_add_idempotent(self):
+        uf = UnionFind()
+        uf.add("x")
+        uf.add("x")
+        assert len(uf) == 1
+
+
+class TestRandomized:
+    def test_against_naive_model(self):
+        rng = random.Random(5)
+        uf = UnionFind()
+        groups = {i: {i} for i in range(40)}
+
+        def naive_find(x):
+            for rep, members in groups.items():
+                if x in members:
+                    return rep
+            raise AssertionError
+
+        for _ in range(300):
+            a, b = rng.randrange(40), rng.randrange(40)
+            ra, rb = naive_find(a), naive_find(b)
+            expected_new = ra != rb
+            assert uf.union(a, b) == expected_new
+            if expected_new:
+                groups[ra] |= groups.pop(rb)
+        for _ in range(200):
+            a, b = rng.randrange(40), rng.randrange(40)
+            assert uf.connected(a, b) == (naive_find(a) == naive_find(b))
+        assert uf.num_components == len(groups)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    pairs=st.lists(
+        st.tuples(st.integers(0, 12), st.integers(0, 12)), max_size=60
+    )
+)
+def test_property_equivalence_closure(pairs):
+    """union-find agrees with the reflexive-transitive closure."""
+    uf = UnionFind()
+    import itertools
+
+    adjacency = {i: {i} for i in range(13)}
+    for a, b in pairs:
+        uf.union(a, b)
+        merged = adjacency[a] | adjacency[b]
+        for member in merged:
+            adjacency[member] = merged
+    for a, b in itertools.combinations(range(13), 2):
+        assert uf.connected(a, b) == (b in adjacency[a])

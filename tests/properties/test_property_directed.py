@@ -1,0 +1,126 @@
+"""Hypothesis properties of the directed GST solver."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.directed import (
+    DirectedGSTSolver,
+    brute_force_directed_gst,
+)
+from repro.graph.digraph import DiGraph
+
+
+@st.composite
+def directed_cases(draw, max_nodes=8, max_labels=3):
+    """Random DiGraph with a guaranteed covering root (node 0)."""
+    n = draw(st.integers(2, max_nodes))
+    k = draw(st.integers(1, max_labels))
+    # Out-arborescence from node 0 keeps every query feasible.
+    parents = [draw(st.integers(0, i - 1)) for i in range(1, n)]
+    extra = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            max_size=n,
+        )
+    )
+    weights = draw(
+        st.lists(
+            st.integers(1, 15),
+            min_size=n - 1 + len(extra),
+            max_size=n - 1 + len(extra),
+        )
+    )
+    label_nodes = [
+        draw(st.lists(st.integers(0, n - 1), min_size=1, max_size=2))
+        for _ in range(k)
+    ]
+    g = DiGraph()
+    for _ in range(n):
+        g.add_node()
+    w = iter(weights)
+    for child, parent in enumerate(parents, start=1):
+        g.add_edge(parent, child, float(next(w)))
+    for u, v in extra:
+        if u != v and not g.has_edge(u, v):
+            g.add_edge(u, v, float(next(w)))
+    labels = []
+    for i, nodes in enumerate(label_nodes):
+        label = f"L{i}"
+        labels.append(label)
+        for node in nodes:
+            g.add_labels(node, [label])
+    return g, labels
+
+
+@settings(
+    max_examples=100,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(case=directed_cases())
+def test_directed_solver_matches_fixpoint_oracle(case):
+    graph, labels = case
+    expected = brute_force_directed_gst(graph, labels)
+    result = DirectedGSTSolver(graph, labels).solve()
+    assert result.optimal
+    assert result.weight == pytest.approx(expected)
+    result.tree.validate(graph, labels)
+    assert result.tree.weight == pytest.approx(expected)
+    assert result.stats.reopened == 0
+
+
+@settings(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(case=directed_cases())
+def test_symmetrized_digraph_equals_undirected(case):
+    """Adding every reverse edge makes the directed optimum coincide
+    with the undirected one (any undirected tree orients from its
+    root) — a strong consistency check between the two solvers."""
+    from repro import Graph
+    from repro.core import PrunedDPPlusPlusSolver
+
+    digraph, labels = case
+    for u, v, w in list(digraph.edges()):
+        if not digraph.has_edge(v, u):
+            digraph.add_edge(v, u, w)
+        elif digraph.edge_weight(v, u) != w:
+            # Symmetrize weights to the minimum of the two directions.
+            low = min(w, digraph.edge_weight(v, u))
+            digraph.add_edge(v, u, low)
+            digraph.add_edge(u, v, low)
+
+    undirected = Graph()
+    for _ in digraph.nodes():
+        undirected.add_node()
+    for u, v, w in digraph.edges():
+        undirected.add_edge(u, v, w)
+    for node in digraph.nodes():
+        undirected.add_labels(node, digraph.labels_of(node))
+
+    directed_result = DirectedGSTSolver(digraph, labels).solve()
+    undirected_result = PrunedDPPlusPlusSolver(undirected, labels).solve()
+    assert directed_result.optimal and undirected_result.optimal
+    assert directed_result.weight == pytest.approx(undirected_result.weight)
+
+
+@settings(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(case=directed_cases())
+def test_directed_trace_sound(case):
+    graph, labels = case
+    expected = brute_force_directed_gst(graph, labels)
+    result = DirectedGSTSolver(graph, labels).solve()
+    for point in result.trace:
+        assert point.lower_bound <= expected + 1e-9
+        if point.best_weight != float("inf"):
+            assert point.best_weight >= expected - 1e-9
+    assert result.trace[-1].ratio == pytest.approx(1.0)

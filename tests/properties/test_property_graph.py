@@ -1,0 +1,117 @@
+"""Hypothesis properties of the Graph container and its operations."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Graph
+
+
+@st.composite
+def graph_specs(draw):
+    n = draw(st.integers(1, 12))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n - 1),
+                st.integers(0, n - 1),
+                st.floats(0.0, 50.0, allow_nan=False),
+            ),
+            max_size=25,
+        )
+    )
+    labels = draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.sampled_from("abcde")),
+            max_size=15,
+        )
+    )
+    return n, edges, labels
+
+
+def build(spec) -> Graph:
+    n, edges, labels = spec
+    g = Graph()
+    for _ in range(n):
+        g.add_node()
+    for u, v, w in edges:
+        if u != v:
+            g.add_edge(u, v, w)
+    for node, label in labels:
+        g.add_labels(node, [label])
+    return g
+
+
+@settings(max_examples=80, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(spec=graph_specs())
+def test_construction_invariants_always_hold(spec):
+    g = build(spec)
+    g.validate()
+    # Edge iteration count matches the counter.
+    assert len(list(g.edges())) == g.num_edges
+    # Degrees sum to twice the edge count.
+    assert sum(g.degree(v) for v in g.nodes()) == 2 * g.num_edges
+    # Group index agrees with per-node label sets.
+    for label in g.all_labels():
+        members = set(g.nodes_with_label(label))
+        derived = {v for v in g.nodes() if g.has_label(v, label)}
+        assert members == derived
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(spec=graph_specs())
+def test_copy_equivalence(spec):
+    g = build(spec)
+    clone = g.copy()
+    clone.validate()
+    assert list(clone.edges()) == list(g.edges())
+    assert [clone.labels_of(v) for v in clone.nodes()] == [
+        g.labels_of(v) for v in g.nodes()
+    ]
+    # Mutating the clone leaves the original untouched.
+    clone.add_node(labels=["new"])
+    assert clone.num_nodes == g.num_nodes + 1
+    assert not g.has_label(0, "new") or "new" in g.labels_of(0)
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(spec=graph_specs(), data=st.data())
+def test_subgraph_is_induced(spec, data):
+    g = build(spec)
+    keep = data.draw(
+        st.lists(
+            st.integers(0, g.num_nodes - 1), min_size=1, unique=True
+        )
+    )
+    sub, mapping = g.subgraph(keep)
+    sub.validate()
+    assert sub.num_nodes == len(set(keep))
+    kept = set(keep)
+    expected_edges = sum(
+        1 for u, v, _ in g.edges() if u in kept and v in kept
+    )
+    assert sub.num_edges == expected_edges
+    for old, new in mapping.items():
+        assert sub.labels_of(new) == g.labels_of(old)
+    # Edge weights preserved through the mapping.
+    for u, v, w in g.edges():
+        if u in kept and v in kept:
+            assert sub.edge_weight(mapping[u], mapping[v]) == w
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(spec=graph_specs(), data=st.data())
+def test_io_round_trip(spec, data, tmp_path_factory):
+    from repro.graph.io import load_graph, save_graph
+
+    g = build(spec)
+    stem = str(tmp_path_factory.mktemp("io") / "g")
+    save_graph(g, stem)
+    loaded = load_graph(stem)
+    assert loaded.num_nodes == g.num_nodes
+    assert sorted(loaded.edges()) == sorted(g.edges())
+    for v in g.nodes():
+        assert loaded.labels_of(v) == frozenset(
+            str(x) for x in g.labels_of(v)
+        )

@@ -1,0 +1,175 @@
+"""CLI tests (driving main() in-process)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.graph import generators
+from repro.graph.io import save_graph
+
+
+@pytest.fixture
+def stored_graph(tmp_path):
+    graph = generators.random_graph(
+        30, 60, num_query_labels=4, label_frequency=3, seed=5
+    )
+    stem = str(tmp_path / "g")
+    save_graph(graph, stem)
+    return stem, graph
+
+
+class TestSolve:
+    def test_solve_prints_result(self, stored_graph, capsys):
+        stem, _ = stored_graph
+        code = main(["solve", "--graph", stem, "--labels", "q0,q1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "weight" in out
+        assert "optimal   : True" in out
+
+    def test_solve_quiet(self, stored_graph, capsys):
+        stem, graph = stored_graph
+        code = main(
+            ["solve", "--graph", stem, "--labels", "q0,q1", "--quiet"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out.strip()
+        float(out)  # a bare number
+
+    def test_solve_matches_library(self, stored_graph, capsys):
+        from repro import solve_gst
+
+        stem, graph = stored_graph
+        main(["solve", "--graph", stem, "--labels", "q0,q1,q2", "--quiet"])
+        cli_weight = float(capsys.readouterr().out.strip())
+        # The stored graph stringifies labels; query by the same strings.
+        lib_weight = solve_gst(graph, ["q0", "q1", "q2"]).weight
+        assert cli_weight == pytest.approx(lib_weight)
+
+    def test_solve_algorithms(self, stored_graph, capsys):
+        stem, _ = stored_graph
+        weights = set()
+        for algorithm in ("basic", "pruneddp", "pruneddp++", "dpbf"):
+            main([
+                "solve", "--graph", stem, "--labels", "q0,q1",
+                "--algorithm", algorithm, "--quiet",
+            ])
+            weights.add(capsys.readouterr().out.strip())
+        assert len(weights) == 1
+
+    def test_solve_top_r(self, stored_graph, capsys):
+        stem, _ = stored_graph
+        code = main(
+            ["solve", "--graph", stem, "--labels", "q0,q1", "--top", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# answer 1" in out
+
+    def test_solve_exact_top_r(self, stored_graph, capsys):
+        stem, _ = stored_graph
+        code = main([
+            "solve", "--graph", stem, "--labels", "q0,q1",
+            "--top", "2", "--exact-top",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# answer 1" in out
+
+    def test_solve_json(self, stored_graph, capsys):
+        import json
+
+        stem, _ = stored_graph
+        code = main(
+            ["solve", "--graph", stem, "--labels", "q0,q1", "--json"]
+        )
+        assert code == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["optimal"] is True
+        assert record["tree"]["edges"] is not None
+
+    def test_solve_dot(self, stored_graph, capsys):
+        stem, _ = stored_graph
+        code = main(
+            ["solve", "--graph", stem, "--labels", "q0,q1", "--dot"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("graph gst {")
+        assert "--" in out
+
+    def test_solve_chart(self, stored_graph, capsys):
+        stem, _ = stored_graph
+        code = main(
+            ["solve", "--graph", stem, "--labels", "q0,q1,q2", "--chart"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "LB" in out
+
+    def test_solve_progress_events(self, stored_graph, capsys):
+        stem, _ = stored_graph
+        main(["solve", "--graph", stem, "--labels", "q0,q1", "--progress"])
+        err = capsys.readouterr().err
+        assert "UB=" in err
+
+    def test_solve_infeasible_is_clean_error(self, stored_graph, capsys):
+        stem, _ = stored_graph
+        code = main(["solve", "--graph", stem, "--labels", "q0,ghost"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_graph_file(self, tmp_path, capsys):
+        code = main(
+            ["solve", "--graph", str(tmp_path / "nope"), "--labels", "a"]
+        )
+        assert code == 2
+
+
+class TestGenerate:
+    @pytest.mark.parametrize("kind", ["dblp", "imdb", "powerlaw", "road", "random"])
+    def test_generate_each_kind(self, kind, tmp_path, capsys):
+        stem = str(tmp_path / kind)
+        code = main([
+            "generate", "--kind", kind, "--out", stem, "--size", "60",
+            "--query-labels", "4", "--label-frequency", "3",
+        ])
+        assert code == 0
+        assert "wrote" in capsys.readouterr().out
+        # Round trip + solvable.
+        from repro import solve_gst
+        from repro.graph.io import load_graph
+
+        graph = load_graph(stem)
+        result = solve_gst(graph, ["q0", "q1"])
+        assert result.optimal
+
+
+class TestInfo:
+    def test_info(self, stored_graph, capsys):
+        stem, graph = stored_graph
+        code = main(["info", "--graph", stem])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"nodes        : {graph.num_nodes}" in out
+        assert "max degree" in out
+
+
+class TestBench:
+    def test_bench_fig10_tiny(self, capsys):
+        code = main([
+            "bench", "--experiment", "fig10",
+            "--dataset", "dblp", "--scale", "tiny",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "progressive bounds" in out
+
+    def test_bench_table2_tiny(self, capsys):
+        code = main([
+            "bench", "--experiment", "table2",
+            "--dataset", "dblp", "--scale", "tiny",
+        ])
+        assert code == 0
+        assert "BANKS-II" in capsys.readouterr().out

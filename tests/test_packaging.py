@@ -1,0 +1,75 @@
+"""Package-surface sanity: exports resolve, version, metadata coherence."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPublicSurface:
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.graph",
+            "repro.core",
+            "repro.baselines",
+            "repro.apps",
+            "repro.bench",
+            "repro.viz",
+            "repro.cli",
+        ],
+    )
+    def test_submodule_all_resolves(self, module):
+        mod = importlib.import_module(module)
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{module}.{name}"
+
+    def test_error_hierarchy(self):
+        from repro import (
+            GraphError,
+            InfeasibleQueryError,
+            LimitExceededError,
+            QueryError,
+            ReproError,
+        )
+
+        assert issubclass(GraphError, ReproError)
+        assert issubclass(QueryError, ReproError)
+        assert issubclass(InfeasibleQueryError, QueryError)
+        assert issubclass(LimitExceededError, ReproError)
+
+    def test_solver_registry_matches_exports(self):
+        from repro.core.solver import ALGORITHMS
+
+        assert set(ALGORITHMS) == {
+            "basic", "pruneddp", "pruneddp+", "pruneddp++", "dpbf",
+        }
+
+    def test_bench_algorithm_registry_complete(self):
+        from repro.bench.runner import ALL_ALGORITHMS, _SOLVERS
+
+        assert set(ALL_ALGORITHMS) == set(_SOLVERS)
+
+    def test_cli_entry_point_declared(self):
+        import tomllib
+
+        with open("pyproject.toml", "rb") as handle:
+            meta = tomllib.load(handle)
+        assert meta["project"]["scripts"]["repro-gst"] == "repro.cli:main"
+
+    def test_no_runtime_dependencies(self):
+        import tomllib
+
+        with open("pyproject.toml", "rb") as handle:
+            meta = tomllib.load(handle)
+        assert meta["project"]["dependencies"] == []

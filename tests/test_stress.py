@@ -1,0 +1,106 @@
+"""Moderate stress tests: wider random cross-checks than the unit files.
+
+These run a few seconds total — broad enough to catch rare-path bugs
+(ties, dense label overlap, heavy graphs) without slowing the suite.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import (
+    DPBFSolver,
+    PrunedDPPlusPlusSolver,
+    PrunedDPSolver,
+)
+from repro.graph import generators
+
+
+class TestWideAgreement:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_plusplus_vs_dpbf_on_varied_instances(self, seed):
+        """20 varied random instances: sizes, densities, k, frequency."""
+        rng = random.Random(seed)
+        n = rng.randrange(15, 60)
+        m = n - 1 + rng.randrange(0, 2 * n)
+        k = rng.randrange(2, 6)
+        freq = rng.randrange(1, 5)
+        g = generators.random_graph(
+            n, m, num_query_labels=k, label_frequency=freq,
+            weight_range=(1.0, float(rng.randrange(2, 30))),
+            seed=seed * 7 + 1,
+        )
+        labels = [f"q{i}" for i in range(k)]
+        pp = PrunedDPPlusPlusSolver(g, labels).solve()
+        dpbf = DPBFSolver(g, labels).solve()
+        assert pp.optimal
+        assert pp.weight == pytest.approx(dpbf.weight), (n, m, k, freq)
+        pp.tree.validate(g, labels)
+        assert pp.stats.reopened == 0
+
+    def test_integer_weight_ties(self):
+        """All weights equal: massive tie-breaking stress."""
+        for seed in range(5):
+            g = generators.random_graph(
+                25, 60, num_query_labels=4, label_frequency=3,
+                weight_range=(1.0, 1.0), seed=seed,
+            )
+            labels = [f"q{i}" for i in range(4)]
+            weights = {
+                cls(g, labels).solve().weight
+                for cls in (PrunedDPSolver, PrunedDPPlusPlusSolver, DPBFSolver)
+            }
+            assert len(weights) == 1
+
+    def test_dense_label_overlap(self):
+        """Every node carries several query labels."""
+        rng = random.Random(3)
+        g = generators.random_graph(
+            20, 45, num_query_labels=0, seed=3
+        )
+        labels = [f"t{i}" for i in range(5)]
+        for node in g.nodes():
+            for label in rng.sample(labels, 3):
+                g.add_labels(node, [label])
+        pp = PrunedDPPlusPlusSolver(g, labels).solve()
+        dpbf = DPBFSolver(g, labels).solve()
+        assert pp.weight == pytest.approx(dpbf.weight)
+
+    def test_long_thin_graph(self):
+        """Path-like topology: deep recursion-free reconstruction."""
+        from repro import Graph
+
+        g = Graph()
+        nodes = [g.add_node() for _ in range(300)]
+        for u, v in zip(nodes, nodes[1:]):
+            g.add_edge(u, v, 1.0)
+        g.add_labels(nodes[0], ["a"])
+        g.add_labels(nodes[-1], ["b"])
+        g.add_labels(nodes[150], ["c"])
+        result = PrunedDPPlusPlusSolver(g, ["a", "b", "c"]).solve()
+        assert result.optimal
+        assert result.weight == pytest.approx(299.0)
+        assert len(result.tree.edges) == 299
+
+    def test_high_degree_hub(self):
+        """Star with 400 leaves: adjacency-scan stress."""
+        from repro import Graph
+
+        g = Graph()
+        hub = g.add_node()
+        leaves = [g.add_node() for _ in range(400)]
+        for i, leaf in enumerate(leaves):
+            g.add_edge(hub, leaf, 1.0 + (i % 7) * 0.1)
+        g.add_labels(leaves[13], ["a"])
+        g.add_labels(leaves[200], ["b"])
+        g.add_labels(leaves[399], ["c"])
+        result = PrunedDPPlusPlusSolver(g, ["a", "b", "c"]).solve()
+        assert result.optimal
+        expected = (
+            g.edge_weight(hub, leaves[13])
+            + g.edge_weight(hub, leaves[200])
+            + g.edge_weight(hub, leaves[399])
+        )
+        assert result.weight == pytest.approx(expected)
