@@ -30,6 +30,7 @@ from .errors import (
 )
 from .graph import Graph
 from .core import (
+    Budget,
     GSTQuery,
     SteinerTree,
     GSTResult,
@@ -43,11 +44,24 @@ from .core import (
     top_r_trees,
     exact_top_r_trees,
 )
+from .service import (
+    GraphIndex,
+    QueryExecutor,
+    QueryOutcome,
+    QueryTrace,
+    TraceSink,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Graph",
+    "Budget",
+    "GraphIndex",
+    "QueryExecutor",
+    "QueryOutcome",
+    "QueryTrace",
+    "TraceSink",
     "GSTQuery",
     "SteinerTree",
     "GSTResult",

@@ -17,11 +17,11 @@ from dataclasses import dataclass
 from typing import Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.result import GSTResult
-from ..core.solver import solve_gst
 from ..core.topr import exact_top_r_trees, top_r_trees
 from ..core.tree import SteinerTree
 from ..errors import InfeasibleQueryError
 from ..graph.graph import Graph
+from ..service.index import GraphIndex
 from .relational import Database, tokenize
 
 __all__ = ["KeywordAnswer", "KeywordSearchEngine"]
@@ -63,6 +63,10 @@ class KeywordSearchEngine:
         self.algorithm = algorithm
         self.directed = directed
         self.graph = database.to_digraph() if directed else database.to_graph()
+        # The undirected engine serves all queries from one shared index
+        # so repeated keywords amortize their per-label Dijkstras (the
+        # directed model has its own solver and no index yet).
+        self.index = None if directed else GraphIndex(self.graph)
 
     # ------------------------------------------------------------------
     def normalize(self, keywords: Iterable[str]) -> Tuple[str, ...]:
@@ -103,8 +107,7 @@ class KeywordSearchEngine:
                 **solver_kwargs,
             ).solve()
         else:
-            result = solve_gst(
-                self.graph,
+            result = self.index.solve(
                 terms,
                 algorithm=self.algorithm,
                 time_limit=time_limit,
@@ -135,9 +138,18 @@ class KeywordSearchEngine:
             )
         terms = self.normalize(keywords)
         if exact:
+            # Exclusion branching solves restricted graph *copies*; the
+            # shared index cache is bound to the original graph and must
+            # not leak into them.
             trees = exact_top_r_trees(self.graph, terms, r, **solver_kwargs)
         else:
-            trees = top_r_trees(self.graph, terms, r, **solver_kwargs)
+            trees = top_r_trees(
+                self.graph,
+                terms,
+                r,
+                distance_cache=self.index.cache,
+                **solver_kwargs,
+            )
         answers = []
         for i, tree in enumerate(trees):
             answers.append(

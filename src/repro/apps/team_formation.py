@@ -16,9 +16,9 @@ from dataclasses import dataclass
 from typing import Dict, Hashable, Iterable, List, Optional, Tuple
 
 from ..core.result import GSTResult
-from ..core.solver import solve_gst
 from ..errors import GraphError, InfeasibleQueryError
 from ..graph.graph import Graph
+from ..service.index import GraphIndex
 
 __all__ = ["Team", "ExpertNetwork"]
 
@@ -48,6 +48,7 @@ class ExpertNetwork:
         self.graph = Graph()
         self._experts: Dict[Hashable, int] = {}
         self._skills: Dict[Hashable, frozenset] = {}
+        self._index: Optional[GraphIndex] = None
 
     # ------------------------------------------------------------------
     def add_expert(self, name: Hashable, skills: Iterable[str]) -> None:
@@ -60,6 +61,7 @@ class ExpertNetwork:
         )
         self._experts[name] = node
         self._skills[name] = skills
+        self._index = None  # graph mutated: any built index is stale
 
     def add_collaboration(
         self, a: Hashable, b: Hashable, cost: float = 1.0
@@ -68,6 +70,7 @@ class ExpertNetwork:
         if cost <= 0.0:
             raise GraphError("communication cost must be positive")
         self.graph.add_edge(self._node(a), self._node(b), cost)
+        self._index = None  # graph mutated: any built index is stale
 
     def _node(self, name: Hashable) -> int:
         try:
@@ -78,6 +81,13 @@ class ExpertNetwork:
     @property
     def num_experts(self) -> int:
         return len(self._experts)
+
+    @property
+    def index(self) -> GraphIndex:
+        """The shared query index, rebuilt lazily after mutations."""
+        if self._index is None:
+            self._index = GraphIndex(self.graph)
+        return self._index
 
     def skills_of(self, name: Hashable) -> frozenset:
         """The declared skill set of an expert."""
@@ -103,8 +113,7 @@ class ExpertNetwork:
         if not skills:
             raise InfeasibleQueryError("at least one skill is required")
         labels = [f"skill:{s}" for s in skills]
-        result: GSTResult = solve_gst(
-            self.graph,
+        result: GSTResult = self.index.solve(
             labels,
             algorithm=algorithm,
             time_limit=time_limit,

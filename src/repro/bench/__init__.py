@@ -6,8 +6,10 @@ from .runner import (
     RATIO_CHECKPOINTS,
     PROGRESSIVE_ALGORITHMS,
     ALL_ALGORITHMS,
+    ThroughputResult,
     run_query,
     run_suite,
+    run_throughput,
 )
 from .workloads import make_workload, generate_queries
 
@@ -27,6 +29,8 @@ __all__ = [
     "ALL_ALGORITHMS",
     "run_query",
     "run_suite",
+    "run_throughput",
+    "ThroughputResult",
     "make_workload",
     "generate_queries",
 ]

@@ -3,18 +3,22 @@
 Commands
 --------
 ``solve``     Run a GST query over a graph stored on disk.
+``batch``     Serve a file of queries concurrently over one shared index.
 ``generate``  Produce a synthetic dataset (edge/label files).
 ``info``      Summarize a stored graph.
 ``bench``     Regenerate one of the paper's figures/tables.
 
 Graphs on disk use the two-file format of :mod:`repro.graph.io`
-(``<stem>.edges`` + ``<stem>.labels``).
+(``<stem>.edges`` + ``<stem>.labels``).  Query files for ``batch`` hold
+one query per line as comma-separated labels (``#`` comments and blank
+lines are skipped).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time as _time
 from typing import List, Optional
 
 from .bench import figures
@@ -65,6 +69,35 @@ def build_parser() -> argparse.ArgumentParser:
                        help="emit the answer tree as Graphviz DOT")
     solve.add_argument("--chart", action="store_true",
                        help="draw the UB/LB convergence chart")
+
+    batch = sub.add_parser(
+        "batch",
+        help="serve a file of queries concurrently over one shared index",
+    )
+    batch.add_argument("--graph", required=True, help="graph file stem")
+    batch.add_argument(
+        "--queries", required=True,
+        help="query file: one comma-separated label set per line",
+    )
+    batch.add_argument(
+        "--algorithm",
+        default="pruneddp++",
+        choices=sorted(ALGORITHMS) + ["auto"],
+    )
+    batch.add_argument("--max-workers", type=int, default=None,
+                       help="executor thread count (default: cpu-bound)")
+    batch.add_argument("--time-limit", type=float, default=None,
+                       help="per-query wall-clock budget in seconds")
+    batch.add_argument("--epsilon", type=float, default=0.0,
+                       help="stop each query at a proven (1+eps)-approximation")
+    batch.add_argument("--max-states", type=int, default=None,
+                       help="per-query cap on popped DP states")
+    batch.add_argument("--deadline", type=float, default=None,
+                       help="whole-batch wall-clock allowance in seconds")
+    batch.add_argument("--traces", default=None,
+                       help="write per-query JSONL traces to this file")
+    batch.add_argument("--quiet", action="store_true",
+                       help="print only the summary line")
 
     gen = sub.add_parser("generate", help="write a synthetic dataset")
     gen.add_argument(
@@ -181,6 +214,84 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _read_query_file(path: str) -> List[List[str]]:
+    """Parse a batch query file: one comma-separated label set per line."""
+    queries: List[List[str]] = []
+    try:
+        handle = open(path, "r", encoding="utf-8")
+    except OSError as exc:
+        raise ReproError(f"cannot read query file: {exc}") from None
+    with handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            labels = [token.strip() for token in line.split(",") if token.strip()]
+            if not labels:
+                raise ReproError(f"{path}:{lineno}: empty query line")
+            queries.append(labels)
+    if not queries:
+        raise ReproError(f"{path}: no queries found")
+    return queries
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from .core.budget import Budget
+    from .service import GraphIndex, QueryExecutor, TraceSink
+
+    graph = load_graph(args.graph)
+    queries = _read_query_file(args.queries)
+    budget = Budget(
+        time_limit=args.time_limit,
+        epsilon=args.epsilon,
+        max_states=args.max_states,
+    )
+    sink = TraceSink(args.traces) if args.traces else None
+    index = GraphIndex(graph)
+    started = _time.perf_counter()
+    try:
+        with QueryExecutor(
+            index,
+            max_workers=args.max_workers,
+            algorithm=args.algorithm,
+            budget=budget,
+            trace_sink=sink,
+        ) as executor:
+            outcomes = executor.run_batch(queries, deadline=args.deadline)
+    finally:
+        if sink is not None:
+            sink.close()
+    total = _time.perf_counter() - started
+
+    ok = 0
+    for outcome in outcomes:
+        trace = outcome.trace
+        if outcome.ok:
+            ok += 1
+            weight = outcome.result.weight
+            detail = (
+                f"weight={weight:g} "
+                f"{'optimal' if outcome.result.optimal else 'anytime'}"
+            )
+        else:
+            detail = trace.error or "failed"
+        if not args.quiet:
+            print(
+                f"[{outcome.query_id:>3}] {trace.status:<10} "
+                f"{','.join(str(l) for l in outcome.labels):<30} "
+                f"{trace.wall_seconds * 1e3:8.1f} ms  {detail}"
+            )
+    qps = len(outcomes) / total if total > 0 else float("inf")
+    print(
+        f"batch: {len(outcomes)} queries ({ok} ok, {len(outcomes) - ok} "
+        f"failed) in {total:.3f}s = {qps:.1f} q/s "
+        f"[{args.algorithm}, {executor.max_workers} workers]"
+    )
+    if sink is not None:
+        print(f"traces: {sink.count} records -> {args.traces}")
+    return 0 if ok > 0 else 2
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     kind = args.kind
     common = dict(
@@ -252,6 +363,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "solve": _cmd_solve,
+    "batch": _cmd_batch,
     "generate": _cmd_generate,
     "info": _cmd_info,
     "bench": _cmd_bench,
@@ -264,7 +376,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
-    except ReproError as error:
+    except (ReproError, ValueError) as error:
+        # ValueError covers invalid limit values (Budget, max_workers,
+        # deadline) raised by library-level validation.
         print(f"error: {error}", file=sys.stderr)
         return 2
     except BrokenPipeError:

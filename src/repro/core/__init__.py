@@ -12,6 +12,7 @@ Public surface:
 * :func:`top_r_trees` — approximate top-r per the paper's remark.
 """
 
+from .budget import Budget
 from .query import GSTQuery, MAX_QUERY_LABELS
 from .tree import SteinerTree
 from .result import GSTResult, ProgressPoint, SearchStats
@@ -38,6 +39,7 @@ from .directed import (
 )
 
 __all__ = [
+    "Budget",
     "GSTQuery",
     "MAX_QUERY_LABELS",
     "SteinerTree",

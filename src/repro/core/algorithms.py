@@ -5,8 +5,14 @@ AllPaths route tables), configures the shared
 :class:`~repro.core.engine.SearchEngine` with the algorithm's policy,
 and returns a :class:`~repro.core.result.GSTResult`.
 
-All solvers accept the same keyword arguments:
+All solvers accept the same keyword arguments, resource limits being
+bundled in a single :class:`~repro.core.budget.Budget` (the loose
+equivalents remain accepted and win over the budget's fields):
 
+``budget``
+    A :class:`Budget` carrying ``time_limit`` / ``epsilon`` /
+    ``max_states`` / ``on_limit`` (and, for batch execution, an
+    absolute deadline).
 ``time_limit``
     Seconds after which the best feasible answer so far is returned
     (``result.optimal`` tells whether optimality was proven anyway).
@@ -17,6 +23,10 @@ All solvers accept the same keyword arguments:
     Cap on popped states (``on_limit`` chooses return-best or raise).
 ``on_progress``
     Callback invoked with every :class:`ProgressPoint` (UB/LB event).
+``on_event``
+    Callback ``(name, payload)`` for engine lifecycle events
+    (``search_started`` / ``new_best`` / ``search_finished``) — the
+    structured-telemetry hook the service layer records.
 ``progressive``
     Set ``False`` to skip per-state feasible-solution construction
     (pure optimal-search mode; used by some ablations).
@@ -30,6 +40,7 @@ from ..errors import GraphError
 from ..graph.graph import Graph
 from .allpaths import RouteTables
 from .bounds import LowerBounds
+from .budget import Budget
 from .context import QueryContext
 from .engine import SearchEngine
 from .query import GSTQuery
@@ -67,23 +78,35 @@ class _ProgressiveSolverBase:
         graph: Graph,
         query: QueryLike,
         *,
+        budget: Optional[Budget] = None,
         time_limit: Optional[float] = None,
-        epsilon: float = 0.0,
+        epsilon: Optional[float] = None,
         max_states: Optional[int] = None,
-        on_limit: str = "return",
+        on_limit: Optional[str] = None,
         on_progress: Optional[Callable[[ProgressPoint], None]] = None,
         on_feasible=None,
+        on_event: Optional[Callable[[str, dict], None]] = None,
         progressive: bool = True,
         distance_cache=None,
     ) -> None:
         self.graph = graph
         self.query = _coerce_query(query)
-        self.time_limit = time_limit
-        self.epsilon = epsilon
-        self.max_states = max_states
-        self.on_limit = on_limit
+        self.budget = Budget.coalesce(
+            budget,
+            time_limit=time_limit,
+            epsilon=epsilon,
+            max_states=max_states,
+            on_limit=on_limit,
+        )
+        # Legacy attribute names, kept so existing callers can keep
+        # introspecting the configured limits.
+        self.time_limit = self.budget.time_limit
+        self.epsilon = self.budget.epsilon
+        self.max_states = self.budget.max_states
+        self.on_limit = self.budget.on_limit
         self.on_progress = on_progress
         self.on_feasible = on_feasible
+        self.on_event = on_event
         self.progressive = progressive
         self.distance_cache = distance_cache
         if self.requires_positive_weights and graph.num_edges > 0:
@@ -99,13 +122,27 @@ class _ProgressiveSolverBase:
         """Return ``(bounds, extra_init_seconds, table_entries)``."""
         return None, 0.0, 0
 
-    def solve(self) -> GSTResult:
-        """Run the algorithm; always returns, never raises for timeouts."""
+    # ------------------------------------------------------------------
+    # Staged execution — the service layer calls these separately so it
+    # can time each stage; solve() chains them for everyone else.
+    # ------------------------------------------------------------------
+    def build_context(self) -> QueryContext:
+        """Stage 1: per-query preprocessing (the k label Dijkstras)."""
         context = QueryContext.build(
             self.graph, self.query, cache=self.distance_cache
         )
         context.require_feasible()
-        bounds, extra_init, table_entries = self._prepare(context)
+        return context
+
+    def prepare(self, context: QueryContext):
+        """Stage 2: algorithm-specific tables and lower bounds."""
+        return self._prepare(context)
+
+    def run_search(self, context: QueryContext, prepared=None) -> GSTResult:
+        """Stage 3: the progressive best-first search itself."""
+        if prepared is None:
+            prepared = self._prepare(context)
+        bounds, extra_init, table_entries = prepared
         engine = SearchEngine(
             context,
             algorithm_name=self.algorithm_name,
@@ -114,16 +151,19 @@ class _ProgressiveSolverBase:
             merge_factor=self.merge_factor,
             complement_shortcut=self.complement_shortcut,
             progressive=self.progressive,
-            time_limit=self.time_limit,
-            epsilon=self.epsilon,
-            max_states=self.max_states,
-            on_limit=self.on_limit,
             on_progress=self.on_progress,
             on_feasible=self.on_feasible,
+            on_event=self.on_event,
             init_seconds=context.build_seconds + extra_init,
             table_entries=table_entries,
+            **self.budget.engine_kwargs(),
         )
         return engine.run()
+
+    def solve(self) -> GSTResult:
+        """Run the algorithm; always returns, never raises for timeouts."""
+        context = self.build_context()
+        return self.run_search(context, self.prepare(context))
 
 
 class BasicSolver(_ProgressiveSolverBase):

@@ -1,0 +1,143 @@
+"""The per-query resource budget shared by every entry point.
+
+Historically each layer (``solve_gst``, ``PreparedGraph.solve``, the
+solver classes, the benchmark runner) threaded ``time_limit`` /
+``epsilon`` / ``max_states`` / ``on_limit`` through as loose keyword
+arguments, and each accepted a slightly different subset.  A
+:class:`Budget` is the single value object all of them now share: build
+one, pass it anywhere, and the same limits reach the search engine.
+
+Budgets are immutable; ``replace`` derives variants.  A budget may also
+carry an absolute *deadline* (a ``time.perf_counter`` timestamp), which
+the batch executor uses to make a whole batch share one wall-clock
+allowance: each query's effective time limit is the smaller of its own
+``time_limit`` and whatever remains until the deadline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["Budget"]
+
+_UNSET = object()
+
+
+@dataclass(frozen=True)
+class Budget:
+    """Resource limits for one GST solve.
+
+    ``time_limit``
+        Wall-clock seconds for the search (best answer so far is
+        returned when it expires).
+    ``epsilon``
+        Stop once a ``(1 + epsilon)``-approximation is proven.
+    ``max_states``
+        Cap on popped DP states; ``on_limit`` chooses whether hitting
+        it returns the incumbent (``"return"``) or raises
+        (``"raise"``).
+    ``deadline``
+        Absolute ``time.perf_counter()`` timestamp after which no more
+        work should start.  Usually set via :meth:`with_deadline` by
+        the batch executor, not by hand.
+    """
+
+    time_limit: Optional[float] = None
+    epsilon: float = 0.0
+    max_states: Optional[int] = None
+    on_limit: str = "return"
+    deadline: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.time_limit is not None and self.time_limit < 0.0:
+            raise ValueError("time_limit must be >= 0")
+        if self.epsilon < 0.0:
+            raise ValueError("epsilon must be >= 0")
+        if self.max_states is not None and self.max_states <= 0:
+            raise ValueError("max_states must be positive")
+        if self.on_limit not in ("return", "raise"):
+            raise ValueError("on_limit must be 'return' or 'raise'")
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def coalesce(
+        cls,
+        budget: Optional["Budget"] = None,
+        *,
+        time_limit: Optional[float] = None,
+        epsilon: Optional[float] = None,
+        max_states: Optional[int] = None,
+        on_limit: Optional[str] = None,
+    ) -> "Budget":
+        """Merge a base budget with legacy loose keyword arguments.
+
+        Explicitly-passed loose kwargs win over the base budget's
+        fields, so both calling styles keep working during migration.
+        """
+        base = budget if budget is not None else cls()
+        return cls(
+            time_limit=time_limit if time_limit is not None else base.time_limit,
+            epsilon=epsilon if epsilon is not None else base.epsilon,
+            max_states=max_states if max_states is not None else base.max_states,
+            on_limit=on_limit if on_limit is not None else base.on_limit,
+            deadline=base.deadline,
+        )
+
+    def replace(self, **changes) -> "Budget":
+        """A copy with the given fields changed (budgets are frozen)."""
+        return dataclasses.replace(self, **changes)
+
+    def with_deadline(self, seconds_from_now: float) -> "Budget":
+        """A copy whose deadline is ``seconds_from_now`` from now."""
+        if seconds_from_now < 0.0:
+            raise ValueError("deadline must be >= 0 seconds from now")
+        return self.replace(deadline=time.perf_counter() + seconds_from_now)
+
+    # ------------------------------------------------------------------
+    # Deadline arithmetic
+    # ------------------------------------------------------------------
+    def remaining(self) -> Optional[float]:
+        """Seconds until the deadline (``None`` when no deadline set)."""
+        if self.deadline is None:
+            return None
+        return self.deadline - time.perf_counter()
+
+    def expired(self) -> bool:
+        """Whether the deadline has passed (never true without one)."""
+        remaining = self.remaining()
+        return remaining is not None and remaining <= 0.0
+
+    def effective_time_limit(self) -> Optional[float]:
+        """``time_limit`` clamped by whatever remains until the deadline."""
+        remaining = self.remaining()
+        if remaining is None:
+            return self.time_limit
+        remaining = max(0.0, remaining)
+        if self.time_limit is None:
+            return remaining
+        return min(self.time_limit, remaining)
+
+    # ------------------------------------------------------------------
+    def engine_kwargs(self) -> dict:
+        """The keyword arguments the search engine understands."""
+        return {
+            "time_limit": self.effective_time_limit(),
+            "epsilon": self.epsilon,
+            "max_states": self.max_states,
+            "on_limit": self.on_limit,
+        }
+
+    def to_dict(self) -> dict:
+        """JSON-friendly record (deadlines reported as remaining secs)."""
+        return {
+            "time_limit": self.time_limit,
+            "epsilon": self.epsilon,
+            "max_states": self.max_states,
+            "on_limit": self.on_limit,
+            "deadline_remaining": self.remaining(),
+        }

@@ -8,67 +8,117 @@ amortizes that cost exactly as a production system would.
 
 Usage::
 
-    cache = LabelDistanceCache(graph)
+    cache = LabelDistanceCache(graph, max_labels=1024)
     ctx1 = QueryContext.build(graph, query1, cache=cache)
     ctx2 = QueryContext.build(graph, query2, cache=cache)  # shared labels free
 
-or one level up::
+or one level up (see :class:`repro.service.GraphIndex`, which owns a
+bounded cache, shares it across a worker pool, and adds telemetry)::
 
     prepared = PreparedGraph(graph)
     result = prepared.solve(["db", "ml"])        # caches as it goes
     result = prepared.solve(["db", "graphs"])    # 'db' Dijkstra reused
 
-The cache is invalidated manually (``clear``) — the graph is assumed
-immutable while cached, which :class:`PreparedGraph` documents as its
-contract (matching every index structure in the literature).
+The cache is LRU-bounded (``max_labels``; ``None`` = unbounded for
+backwards compatibility) and thread-safe: lookups/insertions take an
+internal lock, while the Dijkstra itself runs outside it so concurrent
+misses on *different* labels don't serialize.  It is invalidated
+manually (``clear``) — the graph is assumed immutable while cached,
+which :class:`PreparedGraph` documents as its contract (matching every
+index structure in the literature).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+import threading
+from collections import OrderedDict
+from typing import Hashable, Iterable, List, Optional, Tuple
 
 from ..graph.graph import Graph
 from ..graph.shortest_paths import multi_source_dijkstra
 from .result import GSTResult
-from .solver import ALGORITHMS, solve_gst
 
 __all__ = ["LabelDistanceCache", "PreparedGraph"]
 
 
 class LabelDistanceCache:
-    """Memoizes per-label multi-source Dijkstra results."""
+    """Memoizes per-label multi-source Dijkstra results (LRU-bounded)."""
 
-    __slots__ = ("graph", "_entries", "hits", "misses")
+    __slots__ = (
+        "graph",
+        "max_labels",
+        "_entries",
+        "_lock",
+        "hits",
+        "misses",
+        "evictions",
+    )
 
-    def __init__(self, graph: Graph) -> None:
+    def __init__(self, graph: Graph, *, max_labels: Optional[int] = None) -> None:
+        if max_labels is not None and max_labels <= 0:
+            raise ValueError("max_labels must be positive (or None)")
         self.graph = graph
-        self._entries: Dict[Hashable, Tuple[List[float], List[int]]] = {}
+        self.max_labels = max_labels
+        self._entries: "OrderedDict[Hashable, Tuple[List[float], List[int]]]" = (
+            OrderedDict()
+        )
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def distances(self, label: Hashable) -> Tuple[List[float], List[int]]:
         """``(dist, parent)`` arrays for the label's virtual node."""
-        entry = self._entries.get(label)
-        if entry is not None:
-            self.hits += 1
-            return entry
-        self.misses += 1
+        with self._lock:
+            entry = self._entries.get(label)
+            if entry is not None:
+                self._entries.move_to_end(label)
+                self.hits += 1
+                return entry
+            self.misses += 1
+        # Compute outside the lock: a popular-label miss must not block
+        # concurrent misses on other labels (pure-Python Dijkstras still
+        # share the GIL, but they interleave instead of queueing).
         members = list(self.graph.nodes_with_label(label))
         if not members:
             raise KeyError(f"label {label!r} occurs on no node")
         entry = multi_source_dijkstra(self.graph, members)
-        self._entries[label] = entry
+        with self._lock:
+            winner = self._entries.get(label)
+            if winner is not None:
+                # Another thread computed it meanwhile; keep theirs.
+                self._entries.move_to_end(label)
+                return winner
+            self._entries[label] = entry
+            if self.max_labels is not None:
+                while len(self._entries) > self.max_labels:
+                    self._entries.popitem(last=False)
+                    self.evictions += 1
         return entry
 
+    def counters(self) -> dict:
+        """Snapshot of the hit/miss/eviction counters (telemetry)."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "cached_labels": len(self._entries),
+                "max_labels": self.max_labels,
+            }
+
     def __contains__(self, label: Hashable) -> bool:
-        return label in self._entries
+        with self._lock:
+            return label in self._entries
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def clear(self) -> None:
         """Drop all cached arrays (call after mutating the graph)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
 
 class PreparedGraph:
@@ -79,11 +129,15 @@ class PreparedGraph:
     :func:`repro.core.solver.solve_gst` minus ``split_components``
     (the prepared path always works on the full graph — per-label
     Dijkstras already confine work to reachable regions).
+
+    This predates :class:`repro.service.GraphIndex`, which subsumes it
+    (bounded cache, component decomposition, batch execution,
+    telemetry); ``PreparedGraph`` is kept as the stable minimal facade.
     """
 
-    def __init__(self, graph: Graph) -> None:
+    def __init__(self, graph: Graph, *, max_cached_labels: Optional[int] = None) -> None:
         self.graph = graph
-        self.cache = LabelDistanceCache(graph)
+        self.cache = LabelDistanceCache(graph, max_labels=max_cached_labels)
 
     def solve(
         self,
@@ -93,6 +147,8 @@ class PreparedGraph:
         **solver_kwargs,
     ) -> GSTResult:
         """Solve one query, reusing cached per-label distances."""
+        from .solver import ALGORITHMS, solve_gst
+
         key = algorithm.lower()
         if key not in ALGORITHMS:
             raise ValueError(

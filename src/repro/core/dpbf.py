@@ -22,6 +22,7 @@ from typing import Dict, Hashable, Iterable, List, Optional, Tuple, Union
 
 from ..graph.graph import Graph
 from ..graph.heap import IndexedHeap
+from .budget import Budget
 from .context import QueryContext
 from .feasible import steiner_tree_from_edges
 from .query import GSTQuery
@@ -43,21 +44,43 @@ class DPBFSolver:
         graph: Graph,
         query: Union[GSTQuery, Iterable[Hashable]],
         *,
+        budget: Optional[Budget] = None,
         time_limit: Optional[float] = None,
         max_states: Optional[int] = None,
         distance_cache=None,
+        on_event=None,
     ) -> None:
         self.graph = graph
         self.query = query if isinstance(query, GSTQuery) else GSTQuery(query)
-        self.time_limit = time_limit
-        self.max_states = max_states
+        # DPBF is non-progressive: epsilon in the budget is meaningless
+        # here and simply ignored (the CLI warns about it).
+        self.budget = Budget.coalesce(
+            budget, time_limit=time_limit, max_states=max_states
+        )
+        self.time_limit = self.budget.time_limit
+        self.max_states = self.budget.max_states
         self.distance_cache = distance_cache
+        self.on_event = on_event
 
-    def solve(self) -> GSTResult:
+    # Staged execution, mirroring the progressive solver protocol so
+    # the service layer can time DPBF's stages the same way.
+    def build_context(self) -> QueryContext:
         context = QueryContext.build(
             self.graph, self.query, cache=self.distance_cache
         )
         context.require_feasible()
+        return context
+
+    def prepare(self, context: QueryContext):
+        return None
+
+    def solve(self) -> GSTResult:
+        return self.run_search(self.build_context())
+
+    def run_search(self, context: QueryContext, prepared=None) -> GSTResult:
+        time_limit = self.budget.effective_time_limit()
+        if self.on_event is not None:
+            self.on_event("search_started", {"algorithm": self.algorithm_name})
         started = time.perf_counter() - context.build_seconds
         stats = SearchStats(init_seconds=context.build_seconds)
 
@@ -91,9 +114,9 @@ class DPBFSolver:
                 interrupted = True
                 break
             if (
-                self.time_limit is not None
+                time_limit is not None
                 and stats.states_popped % 256 == 0
-                and time.perf_counter() - started >= self.time_limit
+                and time.perf_counter() - started >= time_limit
             ):
                 interrupted = True
                 break
@@ -121,6 +144,15 @@ class DPBFSolver:
                 push(node, mask | other_mask, cost + other_cost, ("merge", mask, other_mask))
 
         stats.total_seconds = time.perf_counter() - started
+        if self.on_event is not None:
+            self.on_event(
+                "search_finished",
+                {
+                    "optimal": goal is not None or not interrupted,
+                    "elapsed": stats.total_seconds,
+                    "states_popped": stats.states_popped,
+                },
+            )
         if goal is None:
             # Interrupted or (with a feasible query) impossible.
             return GSTResult(

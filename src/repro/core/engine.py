@@ -75,6 +75,7 @@ class SearchEngine:
         on_limit: str = "return",
         on_progress: Optional[Callable[[ProgressPoint], None]] = None,
         on_feasible: Optional[Callable[[SteinerTree], None]] = None,
+        on_event: Optional[Callable[[str, dict], None]] = None,
         init_seconds: float = 0.0,
         table_entries: int = 0,
     ) -> None:
@@ -97,6 +98,7 @@ class SearchEngine:
         self.on_limit = on_limit
         self.on_progress = on_progress
         self.on_feasible = on_feasible
+        self.on_event = on_event
 
         self.stats = SearchStats(
             init_seconds=init_seconds, table_entries=table_entries
@@ -119,6 +121,7 @@ class SearchEngine:
     def run(self) -> GSTResult:
         """Execute the search and return the (possibly anytime) result."""
         self._started = time.perf_counter() - self.stats.init_seconds
+        self._emit("search_started", algorithm=self.algorithm_name)
         self._seed_states()
 
         optimal = False
@@ -186,6 +189,13 @@ class SearchEngine:
             optimal = True
         self.stats.total_seconds = self._elapsed()
         self._record_progress(force=True)
+        self._emit(
+            "search_finished",
+            optimal=optimal,
+            elapsed=self.stats.total_seconds,
+            states_popped=self.stats.states_popped,
+            best_weight=self._best,
+        )
         return GSTResult(
             algorithm=self.algorithm_name,
             labels=self.context.query.labels,
@@ -291,9 +301,11 @@ class SearchEngine:
             # collector installed — the top-r mode — every candidate is
             # still materialized.)
             return
+        started = time.perf_counter()
         state_edges = self._store.tree_edges(node, mask)
         tree = build_feasible_tree(self.context, state_edges, node, mask)
         self.stats.feasible_built += 1
+        self.stats.feasible_seconds += time.perf_counter() - started
         if tree is None:
             return
         if self.on_feasible is not None:
@@ -301,20 +313,24 @@ class SearchEngine:
         if tree.weight < self._best - _COST_EPS:
             self._best = tree.weight
             self._best_tree = tree
+            self._emit("new_best", weight=tree.weight, elapsed=self._elapsed())
             self._record_progress()
 
     def _adopt_best_state(
         self, node: int, mask: int, cost: float, backpointer: tuple
     ) -> None:
         """A goal state beat the incumbent: rebuild its tree."""
+        started = time.perf_counter()
         edges = self._store.tree_edges(node, mask, override=(node, mask, backpointer))
         tree = steiner_tree_from_edges(edges, anchor=node)
+        self.stats.feasible_seconds += time.perf_counter() - started
         # Merged derivations may share edges, in which case the actual
         # union is even lighter than the state cost; keep the real weight.
         self._best = min(cost, tree.weight)
         self._best_tree = tree
         if self.on_feasible is not None:
             self.on_feasible(tree)
+        self._emit("new_best", weight=self._best, elapsed=self._elapsed())
         self._record_progress()
 
     def _raise_global_lb(self, value: float) -> None:
@@ -339,6 +355,11 @@ class SearchEngine:
         self.trace.append(point)
         if self.on_progress is not None:
             self.on_progress(point)
+
+    def _emit(self, name: str, **payload) -> None:
+        """Publish a lifecycle event to the telemetry hook, if any."""
+        if self.on_event is not None:
+            self.on_event(name, payload)
 
     # ------------------------------------------------------------------
     # Limits

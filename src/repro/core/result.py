@@ -57,6 +57,7 @@ class SearchStats:
     table_entries: int = 0
     init_seconds: float = 0.0
     total_seconds: float = 0.0
+    feasible_seconds: float = 0.0
 
     @property
     def estimated_bytes(self) -> int:
@@ -67,6 +68,26 @@ class SearchStats:
         ``O(2^k k^2)`` route tables.
         """
         return self.peak_live_states * BYTES_PER_STATE + self.table_entries * 8
+
+    def to_dict(self) -> dict:
+        """JSON-serializable snapshot of every counter (telemetry)."""
+        return {
+            "states_popped": self.states_popped,
+            "states_pushed": self.states_pushed,
+            "states_expanded": self.states_expanded,
+            "merges_performed": self.merges_performed,
+            "edges_grown": self.edges_grown,
+            "feasible_built": self.feasible_built,
+            "reopened": self.reopened,
+            "peak_queue_size": self.peak_queue_size,
+            "peak_store_size": self.peak_store_size,
+            "peak_live_states": self.peak_live_states,
+            "table_entries": self.table_entries,
+            "estimated_bytes": self.estimated_bytes,
+            "init_seconds": self.init_seconds,
+            "total_seconds": self.total_seconds,
+            "feasible_seconds": self.feasible_seconds,
+        }
 
 
 @dataclass
@@ -134,17 +155,7 @@ class GSTResult:
             }
             if self.tree is not None
             else None,
-            "stats": {
-                "states_popped": self.stats.states_popped,
-                "states_pushed": self.stats.states_pushed,
-                "states_expanded": self.stats.states_expanded,
-                "merges_performed": self.stats.merges_performed,
-                "reopened": self.stats.reopened,
-                "peak_live_states": self.stats.peak_live_states,
-                "estimated_bytes": self.stats.estimated_bytes,
-                "init_seconds": self.stats.init_seconds,
-                "total_seconds": self.stats.total_seconds,
-            },
+            "stats": self.stats.to_dict(),
             "trace": [
                 [p.elapsed, _num(p.best_weight), p.lower_bound]
                 for p in self.trace

@@ -2,28 +2,36 @@
 
 Downstream users (and the applications in :mod:`repro.apps`) usually
 just want "the best tree covering these labels, within this budget".
-This module maps algorithm names to solver classes and handles the
-disconnected-graph case the paper's preliminaries describe (solve per
-covering component, keep the best answer).
+This module maps algorithm names to solver classes and delegates the
+actual execution to the query service
+(:class:`repro.service.GraphIndex`): each call builds a transient index
+over the graph — or adopts the caller's ``distance_cache`` — and runs
+the query through the same staged path batch serving uses.  Multi-query
+workloads should build one :class:`~repro.service.GraphIndex` (or
+:class:`~repro.service.QueryExecutor`) and reuse it; this facade is the
+one-shot convenience wrapper.
+
+The disconnected-graph case of the paper's preliminaries is handled by
+the full-graph search itself: per-label virtual-node Dijkstras confine
+feasible roots to covering components, and the engine's pruning keeps
+dead components' seed states from mattering — the best answer over all
+covering components comes back with original node ids.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Optional, Type
+from typing import Dict, Hashable, Iterable, Optional
 
-from ..errors import InfeasibleQueryError
 from ..graph.graph import Graph
-from ..graph.components import components_covering_labels, is_connected
 from .algorithms import (
     BasicSolver,
     PrunedDPPlusPlusSolver,
     PrunedDPPlusSolver,
     PrunedDPSolver,
-    _ProgressiveSolverBase,
 )
+from .budget import Budget
 from .dpbf import DPBFSolver
 from .result import GSTResult
-from .tree import SteinerTree
 
 __all__ = ["solve_gst", "ALGORITHMS", "default_algorithm"]
 
@@ -47,6 +55,7 @@ def solve_gst(
     *,
     algorithm: str = "pruneddp++",
     split_components: bool = True,
+    budget: Optional[Budget] = None,
     **solver_kwargs,
 ) -> GSTResult:
     """Find the minimum-weight connected tree covering ``labels``.
@@ -63,70 +72,29 @@ def solve_gst(
         the art, non-progressive), or ``auto`` to let the planner pick
         (see :mod:`repro.core.planner`).
     split_components:
-        On a disconnected graph, solve each covering component
-        separately and keep the best (the paper's preliminaries).  With
-        ``False`` the solver runs on the full graph directly, which is
-        also correct but explores dead components' seed states.
+        Kept for backwards compatibility; the service-backed path
+        always searches the full graph (correct on disconnected graphs
+        — see the module docstring), so this flag no longer changes
+        the answer.
+    budget:
+        A :class:`~repro.core.budget.Budget` bundling ``time_limit`` /
+        ``epsilon`` / ``max_states`` / ``on_limit``; the loose keyword
+        equivalents below remain accepted and win over its fields.
     solver_kwargs:
         Forwarded to the solver: ``time_limit``, ``epsilon``,
-        ``max_states``, ``on_progress``, ...
+        ``max_states``, ``on_progress``, ``on_event``,
+        ``distance_cache``, ...
 
     Raises
     ------
     InfeasibleQueryError
         When no connected component covers every label.
     """
+    from ..service.index import GraphIndex
+
     labels = tuple(labels)
-    key = algorithm.lower()
-    if key == "auto":
-        from .planner import plan_algorithm
-
-        key, _ = plan_algorithm(graph, labels)
-    try:
-        solver_cls = ALGORITHMS[key]
-    except KeyError:
-        raise ValueError(
-            f"unknown algorithm {algorithm!r}; choose from "
-            f"{sorted(ALGORITHMS) + ['auto']}"
-        ) from None
-    if split_components and not is_connected(graph):
-        return _solve_per_component(graph, labels, solver_cls, solver_kwargs)
-    return solver_cls(graph, labels, **solver_kwargs).solve()
-
-
-def _solve_per_component(
-    graph: Graph,
-    labels,
-    solver_cls: type,
-    solver_kwargs: dict,
-) -> GSTResult:
-    # A distance cache is bound to the full graph's node ids; component
-    # subgraphs renumber nodes, so the cache must not leak into them.
-    solver_kwargs = {
-        k: v for k, v in solver_kwargs.items() if k != "distance_cache"
-    }
-    components = components_covering_labels(graph, labels)
-    if not components:
-        raise InfeasibleQueryError(
-            f"no connected component covers every query label {list(labels)!r}"
-        )
-    best: Optional[GSTResult] = None
-    for nodes in components:
-        subgraph, mapping = graph.subgraph(nodes)
-        result = solver_cls(subgraph, labels, **solver_kwargs).solve()
-        result = _translate_result(result, mapping, subgraph)
-        if best is None or result.weight < best.weight:
-            best = result
-    assert best is not None
-    return best
-
-
-def _translate_result(result: GSTResult, mapping: Dict[int, int], subgraph) -> GSTResult:
-    """Map a component-local result's tree back to original node ids."""
-    if result.tree is None:
-        return result
-    reverse = {new: old for old, new in mapping.items()}
-    edges = [(reverse[u], reverse[v], w) for u, v, w in result.tree.edges]
-    nodes = [reverse[n] for n in result.tree.nodes]
-    result.tree = SteinerTree(edges, nodes=nodes)
-    return result
+    cache = solver_kwargs.pop("distance_cache", None)
+    index = GraphIndex(graph, cache=cache, max_cached_labels=None)
+    return index.solve(
+        labels, algorithm=algorithm, budget=budget, **solver_kwargs
+    )

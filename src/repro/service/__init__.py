@@ -1,0 +1,43 @@
+"""The query service: shared index, batch execution, telemetry.
+
+This package is the production-serving layer over the paper's solvers:
+
+* :class:`GraphIndex` — one immutable graph plus everything worth
+  amortizing across queries (LRU-bounded per-label Dijkstra cache,
+  label statistics, component decomposition);
+* :class:`QueryExecutor` — a thread-pool batch executor over a shared
+  index, with per-query error isolation, deterministic result
+  ordering, and batch deadlines;
+* :class:`~repro.core.budget.Budget` — the single resource-limit
+  object (``time_limit`` / ``epsilon`` / ``max_states`` / ``on_limit``
+  / deadline) every entry point now shares;
+* :class:`QueryTrace` / :class:`TraceSink` — structured per-stage
+  telemetry and its JSONL sink.
+
+Typical use::
+
+    from repro.service import GraphIndex, QueryExecutor, Budget
+
+    index = GraphIndex(graph)
+    with QueryExecutor(index, max_workers=4) as executor:
+        outcomes = executor.run_batch(queries, budget=Budget(time_limit=1.0))
+    for outcome in outcomes:
+        if outcome.ok:
+            print(outcome.result.weight, outcome.trace.stages)
+"""
+
+from ..core.budget import Budget
+from .index import DEFAULT_MAX_CACHED_LABELS, GraphIndex, QueryOutcome
+from .executor import QueryExecutor
+from .telemetry import STAGES, QueryTrace, TraceSink
+
+__all__ = [
+    "Budget",
+    "GraphIndex",
+    "QueryOutcome",
+    "QueryExecutor",
+    "QueryTrace",
+    "TraceSink",
+    "STAGES",
+    "DEFAULT_MAX_CACHED_LABELS",
+]

@@ -1,0 +1,165 @@
+"""Concurrent batch execution over one shared :class:`GraphIndex`.
+
+The workload GST keyword search was built for is many small queries
+against one immutable graph.  :class:`QueryExecutor` is that serving
+layer: a thread pool (``max_workers``) draining queries against a
+shared index, with
+
+* **per-query error isolation** — an infeasible or crashing query
+  yields a failed :class:`~repro.service.index.QueryOutcome`, never an
+  exception out of the batch;
+* **deterministic ordering** — ``run_batch`` returns outcomes in
+  submission order regardless of completion order;
+* **deadlines** — a batch-wide wall-clock allowance threaded through
+  the shared :class:`~repro.core.budget.Budget`: queries started near
+  the deadline get a clamped time limit, queries after it are skipped;
+* **telemetry** — every outcome carries a
+  :class:`~repro.service.telemetry.QueryTrace`; give the executor a
+  :class:`~repro.service.telemetry.TraceSink` to stream them as JSONL.
+
+Workers are threads: per-label Dijkstras and DP searches release no
+GIL, so the win is cache amortization and overlap of waiting, not CPU
+parallelism — process pools are a later, separate backend.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Hashable, Iterable, List, Optional, Sequence, Union
+
+from ..core.budget import Budget
+from ..graph.graph import Graph
+from .index import GraphIndex, QueryOutcome
+from .telemetry import TraceSink
+
+__all__ = ["QueryExecutor"]
+
+
+def _default_workers() -> int:
+    return min(8, os.cpu_count() or 1)
+
+
+class QueryExecutor:
+    """A worker pool answering GST queries over one shared index."""
+
+    def __init__(
+        self,
+        index: Union[Graph, GraphIndex],
+        *,
+        max_workers: Optional[int] = None,
+        algorithm: str = "pruneddp++",
+        budget: Optional[Budget] = None,
+        trace_sink: Optional[TraceSink] = None,
+    ) -> None:
+        if max_workers is not None and max_workers <= 0:
+            raise ValueError("max_workers must be positive")
+        self.index = GraphIndex.ensure(index)
+        self.max_workers = max_workers or _default_workers()
+        self.algorithm = algorithm
+        self.budget = budget
+        self.trace_sink = trace_sink
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.max_workers, thread_name_prefix="gst-query"
+        )
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        labels: Iterable[Hashable],
+        *,
+        algorithm: Optional[str] = None,
+        budget: Optional[Budget] = None,
+        query_id=None,
+        **solver_kwargs,
+    ) -> "Future[QueryOutcome]":
+        """Enqueue one query; the future resolves to a QueryOutcome.
+
+        The future itself never carries an exception from the solve —
+        errors are captured inside the outcome (isolation contract).
+        """
+        if self._closed:
+            raise RuntimeError("executor is shut down")
+        return self._pool.submit(
+            self._run_one,
+            tuple(labels),
+            algorithm or self.algorithm,
+            budget if budget is not None else self.budget,
+            query_id,
+            solver_kwargs,
+        )
+
+    def run_batch(
+        self,
+        queries: Sequence[Iterable[Hashable]],
+        *,
+        algorithm: Optional[str] = None,
+        budget: Optional[Budget] = None,
+        deadline: Optional[float] = None,
+        **solver_kwargs,
+    ) -> List[QueryOutcome]:
+        """Run a batch concurrently; outcomes come back in input order.
+
+        ``deadline`` (seconds) bounds the *whole batch*: every query
+        shares one budget whose absolute deadline starts now.  Queries
+        reaching the front after it passes are skipped (their outcome
+        says so); queries started close to it run with what remains.
+        """
+        batch_budget = budget if budget is not None else self.budget
+        if deadline is not None:
+            batch_budget = (batch_budget or Budget()).with_deadline(deadline)
+        futures = [
+            self.submit(
+                labels,
+                algorithm=algorithm,
+                budget=batch_budget,
+                query_id=i,
+                **solver_kwargs,
+            )
+            for i, labels in enumerate(queries)
+        ]
+        return [future.result() for future in futures]
+
+    def map(
+        self,
+        queries: Sequence[Iterable[Hashable]],
+        **kwargs,
+    ) -> List[Optional[float]]:
+        """Convenience: best weight per query (``None`` for failures)."""
+        return [
+            outcome.result.weight if outcome.ok and outcome.result else None
+            for outcome in self.run_batch(queries, **kwargs)
+        ]
+
+    # ------------------------------------------------------------------
+    def _run_one(
+        self,
+        labels,
+        algorithm: str,
+        budget: Optional[Budget],
+        query_id,
+        solver_kwargs: dict,
+    ) -> QueryOutcome:
+        outcome = self.index.execute(
+            labels,
+            algorithm=algorithm,
+            budget=budget,
+            query_id=query_id,
+            **solver_kwargs,
+        )
+        if self.trace_sink is not None:
+            self.trace_sink.write(outcome.trace)
+        return outcome
+
+    # ------------------------------------------------------------------
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work and (optionally) wait for the pool."""
+        self._closed = True
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "QueryExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

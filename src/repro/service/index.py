@@ -1,0 +1,314 @@
+"""The shared, immutable graph index every query-service path runs on.
+
+A :class:`GraphIndex` is one graph plus everything worth amortizing
+across queries:
+
+* the per-label multi-source Dijkstra cache
+  (:class:`~repro.core.cache.LabelDistanceCache`, LRU-bounded here so a
+  long-tailed label stream cannot grow memory without bound),
+* label statistics (frequencies, used by planners and workloads),
+* the component decomposition (computed once, reused for fast
+  infeasibility answers instead of per-query BFS).
+
+It subsumes the older ``PreparedGraph``: build one index per graph,
+share it freely across threads (all mutable internals are
+lock-protected), and route every solve through :meth:`solve` /
+:meth:`execute`.  The contract is the standard index contract — the
+underlying graph must not be mutated while indexed.
+
+:meth:`execute` is the telemetry-bearing entry point: it never raises,
+returning a :class:`QueryOutcome` that carries either a result or the
+captured error, plus a :class:`~repro.service.telemetry.QueryTrace`
+with per-stage timings.  :meth:`solve` is the thin raising wrapper the
+one-shot facade (:func:`repro.core.solver.solve_gst`) delegates to.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..core.budget import Budget
+from ..core.cache import LabelDistanceCache
+from ..core.context import QueryContext
+from ..core.query import GSTQuery
+from ..core.result import GSTResult
+from ..core.solver import ALGORITHMS
+from ..errors import InfeasibleQueryError, LimitExceededError, ReproError
+from ..graph.components import component_ids as _component_ids
+from ..graph.graph import Graph
+from .telemetry import QueryTrace
+
+__all__ = ["GraphIndex", "QueryOutcome", "DEFAULT_MAX_CACHED_LABELS"]
+
+# Default LRU bound for the shared label cache: generous for realistic
+# vocabularies, but a hard ceiling against unbounded growth.
+DEFAULT_MAX_CACHED_LABELS = 4096
+
+_MAX_TRACE_EVENTS = 64
+
+
+@dataclass
+class QueryOutcome:
+    """One query's result *or* captured error, plus its trace.
+
+    The executor returns these so a single infeasible or failing query
+    cannot sink the batch; ``raise_for_error`` restores raising
+    behavior where that is wanted.
+    """
+
+    query_id: Optional[Union[int, str]]
+    labels: Tuple[Hashable, ...]
+    algorithm: str
+    result: Optional[GSTResult]
+    error: Optional[BaseException]
+    trace: QueryTrace
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def raise_for_error(self) -> GSTResult:
+        """Return the result, re-raising the captured error if any."""
+        if self.error is not None:
+            raise self.error
+        assert self.result is not None
+        return self.result
+
+
+class GraphIndex:
+    """Immutable-graph handle owning the cross-query caches."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        *,
+        max_cached_labels: Optional[int] = DEFAULT_MAX_CACHED_LABELS,
+        cache: Optional[LabelDistanceCache] = None,
+    ) -> None:
+        started = time.perf_counter()
+        self.graph = graph
+        if cache is not None:
+            if cache.graph is not graph:
+                raise ValueError(
+                    "distance cache was built for a different graph; "
+                    "caches cannot be shared across graphs"
+                )
+            self.cache = cache
+        else:
+            self.cache = LabelDistanceCache(graph, max_labels=max_cached_labels)
+        self._lock = threading.Lock()
+        self._component_ids: Optional[List[int]] = None
+        self._label_components: Dict[Hashable, frozenset] = {}
+        self.build_seconds = time.perf_counter() - started
+
+    @classmethod
+    def ensure(cls, graph_or_index: Union[Graph, "GraphIndex"]) -> "GraphIndex":
+        """Coerce a raw graph to an index (identity on an index)."""
+        if isinstance(graph_or_index, GraphIndex):
+            return graph_or_index
+        return cls(graph_or_index)
+
+    # ------------------------------------------------------------------
+    # Graph / label statistics
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self.graph.num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        return self.graph.num_edges
+
+    @property
+    def num_labels(self) -> int:
+        return self.graph.num_labels
+
+    def label_frequency(self, label: Hashable) -> int:
+        return self.graph.label_frequency(label)
+
+    def cache_info(self) -> dict:
+        """Hit/miss/eviction counters of the shared label cache."""
+        return self.cache.counters()
+
+    # ------------------------------------------------------------------
+    # Component decomposition (built once, lazily)
+    # ------------------------------------------------------------------
+    @property
+    def component_ids(self) -> List[int]:
+        """Per-node component id; computed on first use, then shared."""
+        with self._lock:
+            if self._component_ids is None:
+                started = time.perf_counter()
+                self._component_ids = _component_ids(self.graph)
+                self.build_seconds += time.perf_counter() - started
+            return self._component_ids
+
+    @property
+    def num_components(self) -> int:
+        ids = self.component_ids
+        return max(ids) + 1 if ids else 0
+
+    def _components_of_label(self, label: Hashable) -> frozenset:
+        with self._lock:
+            cached = self._label_components.get(label)
+            if cached is not None:
+                return cached
+        ids = self.component_ids
+        present = frozenset(ids[node] for node in self.graph.nodes_with_label(label))
+        with self._lock:
+            self._label_components[label] = present
+        return present
+
+    def covering_components(self, labels: Iterable[Hashable]) -> List[int]:
+        """Component ids containing at least one node of every label.
+
+        Empty means the query is infeasible — answered from the cached
+        decomposition without running a single Dijkstra.
+        """
+        qualifying: Optional[frozenset] = None
+        for label in labels:
+            present = self._components_of_label(label)
+            qualifying = present if qualifying is None else qualifying & present
+            if not qualifying:
+                return []
+        return sorted(qualifying or ())
+
+    def is_feasible(self, labels: Iterable[Hashable]) -> bool:
+        """Whether some connected component covers every label."""
+        labels = tuple(labels)
+        if not labels:
+            return False
+        if any(self.graph.label_frequency(label) == 0 for label in labels):
+            return False
+        return bool(self.covering_components(labels))
+
+    # ------------------------------------------------------------------
+    # Query execution
+    # ------------------------------------------------------------------
+    def context(self, labels: Union[GSTQuery, Iterable[Hashable]]) -> QueryContext:
+        """Build a query context against the shared label cache."""
+        query = labels if isinstance(labels, GSTQuery) else GSTQuery(labels)
+        return QueryContext.build(self.graph, query, cache=self.cache)
+
+    def _resolve_algorithm(self, algorithm: str, labels: Sequence[Hashable]) -> str:
+        key = algorithm.lower()
+        if key == "auto":
+            from ..core.planner import plan_algorithm
+
+            key, _ = plan_algorithm(self.graph, labels)
+        if key not in ALGORITHMS:
+            raise ValueError(
+                f"unknown algorithm {algorithm!r}; choose from "
+                f"{sorted(ALGORITHMS) + ['auto']}"
+            )
+        return key
+
+    def solve(
+        self,
+        labels: Iterable[Hashable],
+        *,
+        algorithm: str = "pruneddp++",
+        budget: Optional[Budget] = None,
+        **solver_kwargs,
+    ) -> GSTResult:
+        """Solve one query on the shared index (raises on failure)."""
+        outcome = self.execute(
+            labels, algorithm=algorithm, budget=budget, **solver_kwargs
+        )
+        return outcome.raise_for_error()
+
+    def execute(
+        self,
+        labels: Iterable[Hashable],
+        *,
+        algorithm: str = "pruneddp++",
+        budget: Optional[Budget] = None,
+        query_id: Optional[Union[int, str]] = None,
+        **solver_kwargs,
+    ) -> QueryOutcome:
+        """Run one query, capturing errors and per-stage telemetry.
+
+        Never raises: infeasible queries, expired deadlines and solver
+        errors all come back as a :class:`QueryOutcome` whose ``error``
+        field holds the exception (``result`` is then ``None``).
+        """
+        labels = tuple(labels)
+        wall_started = time.perf_counter()
+        trace = QueryTrace(
+            query_id=query_id,
+            labels=labels,
+            algorithm=algorithm,
+            index_build_seconds=self.build_seconds,
+        )
+        events = trace.events
+
+        def on_event(name: str, payload: dict) -> None:
+            if len(events) < _MAX_TRACE_EVENTS:
+                record = {"event": name}
+                record.update(payload)
+                events.append(record)
+
+        result: Optional[GSTResult] = None
+        error: Optional[BaseException] = None
+        try:
+            key = self._resolve_algorithm(algorithm, labels)
+            trace.algorithm = key
+            if budget is not None and budget.expired():
+                trace.status = "skipped"
+                raise LimitExceededError(
+                    "batch deadline expired before query started"
+                )
+            solver_cls = ALGORITHMS[key]
+            trace.cache_hits = sum(1 for label in set(labels) if label in self.cache)
+            trace.cache_misses = len(set(labels)) - trace.cache_hits
+            solver = solver_cls(
+                self.graph,
+                labels,
+                budget=budget,
+                distance_cache=self.cache,
+                on_event=on_event,
+                **solver_kwargs,
+            )
+            stage_started = time.perf_counter()
+            try:
+                context = solver.build_context()
+            finally:
+                trace.stages["context_build"] = time.perf_counter() - stage_started
+            stage_started = time.perf_counter()
+            prepared = solver.prepare(context)
+            trace.stages["bounds_build"] = time.perf_counter() - stage_started
+            stage_started = time.perf_counter()
+            result = solver.run_search(context, prepared)
+            search_wall = time.perf_counter() - stage_started
+            feasible = result.stats.feasible_seconds
+            trace.stages["search"] = max(0.0, search_wall - feasible)
+            trace.stages["feasible"] = feasible
+            trace.weight = result.weight
+            trace.optimal = result.optimal
+            trace.ratio = result.ratio
+            trace.stats = result.stats.to_dict()
+        except InfeasibleQueryError as exc:
+            trace.status = "infeasible"
+            trace.error = str(exc)
+            error = exc
+        except ReproError as exc:
+            if trace.status == "ok":
+                trace.status = "error"
+            trace.error = str(exc)
+            error = exc
+        except Exception as exc:  # per-query isolation: no batch sinking
+            trace.status = "error"
+            trace.error = f"{type(exc).__name__}: {exc}"
+            error = exc
+        trace.wall_seconds = time.perf_counter() - wall_started
+        return QueryOutcome(
+            query_id=query_id,
+            labels=labels,
+            algorithm=trace.algorithm,
+            result=result,
+            error=error,
+            trace=trace,
+        )

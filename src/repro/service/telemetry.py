@@ -1,0 +1,139 @@
+"""Structured per-query telemetry.
+
+Every query executed through the service layer produces one
+:class:`QueryTrace`: which stages ran (context build, bound/table
+preparation, search, feasible-solution construction), how long each
+took, the engine's :class:`~repro.core.result.SearchStats` counters,
+the shared cache's hit/miss contribution, and the outcome.  Traces are
+plain data — ``to_dict`` is JSON-safe — so they can be logged,
+aggregated, or streamed.
+
+:class:`TraceSink` is the standard JSONL destination: one trace per
+line, thread-safe appends (the executor's workers all write to one
+sink), usable by the CLI ``batch`` command and the benchmark runner.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, IO, List, Optional, Tuple, Union
+
+__all__ = ["QueryTrace", "TraceSink", "STAGES"]
+
+INF = float("inf")
+
+# Canonical per-query stage names, in execution order.  ``search``
+# excludes time spent materializing feasible trees, which is reported
+# separately as ``feasible`` — so the stages partition the query's wall
+# time (plus a sliver of bookkeeping overhead).
+STAGES: Tuple[str, ...] = ("context_build", "bounds_build", "search", "feasible")
+
+
+def _json_num(value):
+    if isinstance(value, float) and value == INF:
+        return "inf"
+    return value
+
+
+@dataclass
+class QueryTrace:
+    """One executed query, as the telemetry layer saw it.
+
+    ``status`` is one of ``"ok"`` (a result came back), ``"infeasible"``
+    (no component covers the labels), ``"skipped"`` (batch deadline
+    expired before the query started) or ``"error"`` (anything else);
+    only ``"ok"`` traces carry ``weight``/``optimal``/``ratio``.
+    """
+
+    query_id: Optional[Union[int, str]]
+    labels: Tuple[Any, ...]
+    algorithm: str
+    status: str = "ok"
+    wall_seconds: float = 0.0
+    stages: Dict[str, float] = field(default_factory=dict)
+    weight: Optional[float] = None
+    optimal: Optional[bool] = None
+    ratio: Optional[float] = None
+    stats: Optional[Dict[str, Any]] = None
+    cache_hits: int = 0
+    cache_misses: int = 0
+    index_build_seconds: float = 0.0
+    error: Optional[str] = None
+    events: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def stage_total(self) -> float:
+        """Sum of all recorded stage timings (≈ ``wall_seconds``)."""
+        return sum(self.stages.values())
+
+    def to_dict(self) -> dict:
+        """JSON-serializable record (``inf`` weights become ``"inf"``)."""
+        return {
+            "query_id": self.query_id,
+            "labels": [str(label) for label in self.labels],
+            "algorithm": self.algorithm,
+            "status": self.status,
+            "wall_seconds": self.wall_seconds,
+            "stages": dict(self.stages),
+            "stage_total": self.stage_total,
+            "weight": _json_num(self.weight),
+            "optimal": self.optimal,
+            "ratio": _json_num(self.ratio),
+            "stats": self.stats,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "index_build_seconds": self.index_build_seconds,
+            "error": self.error,
+            "events": [
+                {k: _json_num(v) for k, v in event.items()}
+                for event in self.events
+            ],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+
+class TraceSink:
+    """Append-only JSONL trace writer shared by concurrent workers.
+
+    Accepts a path (opened/closed by the sink) or any writable text
+    file object (left open on ``close``).  ``write`` is thread-safe.
+    """
+
+    def __init__(self, destination: Union[str, IO[str]]) -> None:
+        self._lock = threading.Lock()
+        self.count = 0
+        if isinstance(destination, str):
+            self.path: Optional[str] = destination
+            self._file: IO[str] = open(destination, "w", encoding="utf-8")
+            self._owns_file = True
+        else:
+            self.path = getattr(destination, "name", None)
+            self._file = destination
+            self._owns_file = False
+
+    def write(self, trace: QueryTrace) -> None:
+        """Append one trace as a JSON line (flushed immediately)."""
+        line = trace.to_json()
+        with self._lock:
+            self._file.write(line + "\n")
+            self._file.flush()
+            self.count += 1
+
+    def close(self) -> None:
+        with self._lock:
+            if self._owns_file and not self._file.closed:
+                self._file.close()
+
+    def __enter__(self) -> "TraceSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -101,9 +101,9 @@ class TestCacheGraphBinding:
                 graph, ["q0", "q1"], distance_cache=cache
             ).solve()
 
-    def test_disconnected_graph_drops_cache_safely(self):
-        """solve_gst on a disconnected graph renumbers nodes per
-        component; the cache must be dropped, and answers stay right."""
+    def test_disconnected_graph_with_cache_stays_correct(self):
+        """solve_gst now solves disconnected graphs whole (no node
+        renumbering), so a shared cache stays valid and answers right."""
         from repro import Graph, solve_gst
 
         g = Graph()
@@ -117,3 +117,59 @@ class TestCacheGraphBinding:
         result = solve_gst(g, ["x", "y"], distance_cache=cache)
         assert result.weight == pytest.approx(1.0)
         assert result.optimal
+
+
+class TestLRUBound:
+    def test_max_labels_validation(self, graph):
+        with pytest.raises(ValueError):
+            LabelDistanceCache(graph, max_labels=0)
+        with pytest.raises(ValueError):
+            LabelDistanceCache(graph, max_labels=-3)
+
+    def test_unbounded_by_default(self, graph):
+        cache = LabelDistanceCache(graph)
+        for i in range(6):
+            cache.distances(f"q{i}")
+        assert len(cache) == 6
+        assert cache.evictions == 0
+
+    def test_oldest_label_evicted_first(self, graph):
+        cache = LabelDistanceCache(graph, max_labels=2)
+        cache.distances("q0")
+        cache.distances("q1")
+        cache.distances("q2")  # pushes q0 out
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        assert "q0" not in cache
+        assert "q1" in cache and "q2" in cache
+
+    def test_hit_refreshes_recency(self, graph):
+        cache = LabelDistanceCache(graph, max_labels=2)
+        cache.distances("q0")
+        cache.distances("q1")
+        cache.distances("q0")  # q0 becomes most recent
+        cache.distances("q2")  # so q1 is the one evicted
+        assert "q0" in cache
+        assert "q1" not in cache
+
+    def test_evicted_label_recomputed_on_return(self, graph):
+        cache = LabelDistanceCache(graph, max_labels=1)
+        first, _ = cache.distances("q0")
+        cache.distances("q1")
+        again, _ = cache.distances("q0")  # recomputed after eviction
+        assert cache.evictions == 2
+        assert again == first
+
+    def test_counters_snapshot(self, graph):
+        cache = LabelDistanceCache(graph, max_labels=2)
+        cache.distances("q0")
+        cache.distances("q0")
+        cache.distances("q1")
+        cache.distances("q2")
+        assert cache.counters() == {
+            "hits": 1,
+            "misses": 3,
+            "evictions": 1,
+            "cached_labels": 2,
+            "max_labels": 2,
+        }

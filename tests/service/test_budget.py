@@ -1,0 +1,230 @@
+"""Budget semantics + the kwargs-passthrough regression suite.
+
+The second half pins down the historical drift bug: every documented
+keyword argument, passed through any public entry point, must reach the
+search engine.  A spy engine records the kwargs it was constructed
+with; each test drives one entry point and asserts the engine saw the
+limits the caller asked for.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+import repro.core.algorithms as algorithms_mod
+from repro.core import Budget, PrunedDPPlusPlusSolver, solve_gst
+from repro.core.cache import PreparedGraph
+from repro.core.dpbf import DPBFSolver
+from repro.core.engine import SearchEngine
+from repro.graph import generators
+from repro.service import GraphIndex
+
+
+@pytest.fixture
+def graph():
+    return generators.random_graph(
+        40, 90, num_query_labels=5, label_frequency=3, seed=7
+    )
+
+
+class TestBudgetValue:
+    def test_defaults(self):
+        budget = Budget()
+        assert budget.time_limit is None
+        assert budget.epsilon == 0.0
+        assert budget.max_states is None
+        assert budget.on_limit == "return"
+        assert budget.deadline is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"time_limit": -1.0},
+            {"epsilon": -0.1},
+            {"max_states": 0},
+            {"max_states": -5},
+            {"on_limit": "explode"},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            Budget(**kwargs)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            Budget().time_limit = 3.0  # type: ignore[misc]
+
+    def test_replace(self):
+        derived = Budget(epsilon=0.5).replace(time_limit=2.0)
+        assert derived.time_limit == 2.0
+        assert derived.epsilon == 0.5
+
+    def test_coalesce_loose_kwargs_win(self):
+        base = Budget(time_limit=10.0, epsilon=0.5, max_states=100)
+        merged = Budget.coalesce(base, time_limit=2.0, epsilon=0.25)
+        assert merged.time_limit == 2.0
+        assert merged.epsilon == 0.25
+        assert merged.max_states == 100  # untouched field survives
+        assert merged.on_limit == "return"
+
+    def test_coalesce_without_base(self):
+        merged = Budget.coalesce(None, max_states=7, on_limit="raise")
+        assert merged.max_states == 7
+        assert merged.on_limit == "raise"
+        assert merged.time_limit is None
+
+    def test_coalesce_preserves_deadline(self):
+        base = Budget().with_deadline(60.0)
+        merged = Budget.coalesce(base, time_limit=1.0)
+        assert merged.deadline == base.deadline
+
+    def test_deadline_arithmetic(self):
+        budget = Budget(time_limit=100.0).with_deadline(60.0)
+        remaining = budget.remaining()
+        assert remaining is not None and 0.0 < remaining <= 60.0
+        assert not budget.expired()
+        # The deadline clamps the per-query time limit.
+        assert budget.effective_time_limit() <= 60.0
+
+    def test_expired_deadline(self):
+        budget = Budget().replace(deadline=time.perf_counter() - 1.0)
+        assert budget.expired()
+        assert budget.effective_time_limit() == 0.0
+
+    def test_no_deadline_never_expires(self):
+        budget = Budget(time_limit=0.0)
+        assert not budget.expired()
+        assert budget.effective_time_limit() == 0.0
+
+    def test_negative_with_deadline_rejected(self):
+        with pytest.raises(ValueError):
+            Budget().with_deadline(-1.0)
+
+    def test_engine_kwargs_keys(self):
+        kwargs = Budget(time_limit=3.0, epsilon=0.1, max_states=9).engine_kwargs()
+        assert kwargs == {
+            "time_limit": 3.0,
+            "epsilon": 0.1,
+            "max_states": 9,
+            "on_limit": "return",
+        }
+
+    def test_to_dict_is_json_friendly(self):
+        import json
+
+        record = Budget(time_limit=1.0).with_deadline(5.0).to_dict()
+        json.dumps(record)
+        assert record["time_limit"] == 1.0
+        assert record["deadline_remaining"] <= 5.0
+
+
+# ----------------------------------------------------------------------
+# Kwargs-passthrough regression: every entry point → the engine.
+# ----------------------------------------------------------------------
+@pytest.fixture
+def engine_spy(monkeypatch):
+    """Record the kwargs every SearchEngine is constructed with."""
+    calls = []
+
+    class SpyEngine(SearchEngine):
+        def __init__(self, context, **kwargs):
+            calls.append(dict(kwargs))
+            super().__init__(context, **kwargs)
+
+    monkeypatch.setattr(algorithms_mod, "SearchEngine", SpyEngine)
+    return calls
+
+
+LOOSE = dict(time_limit=5.0, epsilon=0.25, max_states=100_000, on_limit="raise")
+
+
+def _assert_limits(call: dict) -> None:
+    assert call["time_limit"] == 5.0
+    assert call["epsilon"] == 0.25
+    assert call["max_states"] == 100_000
+    assert call["on_limit"] == "raise"
+
+
+class TestKwargsReachEngine:
+    def test_solver_class_loose_kwargs(self, graph, engine_spy):
+        progress, feasible = [], []
+        PrunedDPPlusPlusSolver(
+            graph,
+            ["q0", "q1"],
+            on_progress=progress.append,
+            on_feasible=feasible.append,
+            progressive=True,
+            **LOOSE,
+        ).solve()
+        (call,) = engine_spy
+        _assert_limits(call)
+        assert call["on_progress"] is not None
+        assert call["on_feasible"] is not None
+        assert call["progressive"] is True
+        assert progress, "on_progress callback never fired"
+
+    def test_solver_class_budget(self, graph, engine_spy):
+        budget = Budget(**LOOSE)
+        PrunedDPPlusPlusSolver(graph, ["q0", "q1"], budget=budget).solve()
+        _assert_limits(engine_spy[0])
+
+    def test_solver_class_budget_with_loose_override(self, graph, engine_spy):
+        budget = Budget(time_limit=99.0, epsilon=0.25, max_states=100_000)
+        PrunedDPPlusPlusSolver(
+            graph, ["q0", "q1"], budget=budget, time_limit=5.0, on_limit="raise"
+        ).solve()
+        _assert_limits(engine_spy[0])
+
+    def test_solve_gst_loose_kwargs(self, graph, engine_spy):
+        solve_gst(graph, ["q0", "q1"], algorithm="pruneddp++", **LOOSE)
+        _assert_limits(engine_spy[0])
+
+    def test_solve_gst_budget(self, graph, engine_spy):
+        solve_gst(graph, ["q0", "q1"], budget=Budget(**LOOSE))
+        _assert_limits(engine_spy[0])
+
+    def test_solve_gst_progressive_flag(self, graph, engine_spy):
+        solve_gst(graph, ["q0", "q1"], algorithm="pruneddp", progressive=False)
+        assert engine_spy[0]["progressive"] is False
+
+    def test_prepared_graph_passthrough(self, graph, engine_spy):
+        PreparedGraph(graph).solve(["q0", "q1"], **LOOSE)
+        _assert_limits(engine_spy[0])
+
+    def test_graph_index_passthrough(self, graph, engine_spy):
+        GraphIndex(graph).solve(["q0", "q1"], **LOOSE)
+        _assert_limits(engine_spy[0])
+
+    def test_graph_index_budget(self, graph, engine_spy):
+        GraphIndex(graph).solve(["q0", "q1"], budget=Budget(**LOOSE))
+        _assert_limits(engine_spy[0])
+
+    @pytest.mark.parametrize("algorithm", ["basic", "pruneddp", "pruneddp+"])
+    def test_every_engine_algorithm(self, graph, engine_spy, algorithm):
+        solve_gst(graph, ["q0", "q1"], algorithm=algorithm, **LOOSE)
+        _assert_limits(engine_spy[0])
+
+    def test_deadline_clamps_engine_time_limit(self, graph, engine_spy):
+        budget = Budget(time_limit=100.0).with_deadline(10.0)
+        GraphIndex(graph).solve(["q0", "q1"], budget=budget)
+        assert engine_spy[0]["time_limit"] <= 10.0
+
+
+class TestDPBFBudget:
+    """DPBF has no shared engine; its budget is honored internally."""
+
+    def test_max_states_interrupts(self, graph):
+        result = DPBFSolver(graph, ["q0", "q1"], budget=Budget(max_states=1)).solve()
+        assert not result.optimal
+
+    def test_loose_kwargs_still_work(self, graph):
+        solver = DPBFSolver(graph, ["q0", "q1"], time_limit=5.0, max_states=123)
+        assert solver.budget.time_limit == 5.0
+        assert solver.budget.max_states == 123
+
+    def test_matches_progressive_optimum(self, graph):
+        dpbf = DPBFSolver(graph, ["q0", "q2"]).solve()
+        pruned = PrunedDPPlusPlusSolver(graph, ["q0", "q2"]).solve()
+        assert dpbf.weight == pytest.approx(pruned.weight)

@@ -1,0 +1,153 @@
+"""QueryExecutor: batches, isolation, deadlines, ordering, threads."""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+
+import pytest
+
+from repro.core import PrunedDPPlusPlusSolver
+from repro.errors import InfeasibleQueryError, LimitExceededError
+from repro.graph import generators
+from repro.service import Budget, GraphIndex, QueryExecutor, TraceSink
+
+
+@pytest.fixture
+def graph():
+    return generators.random_graph(
+        60, 130, num_query_labels=6, label_frequency=4, seed=33
+    )
+
+
+@pytest.fixture
+def index(graph):
+    return GraphIndex(graph)
+
+
+class TestBatchBasics:
+    def test_accepts_raw_graph(self, graph):
+        with QueryExecutor(graph, max_workers=2) as executor:
+            outcomes = executor.run_batch([["q0", "q1"]])
+        assert outcomes[0].ok
+
+    def test_mixed_feasible_infeasible_batch(self, index):
+        queries = [
+            ["q0", "q1"],            # feasible
+            ["q0", "no-such-label"], # infeasible: unknown label
+            ["q2", "q3"],            # feasible
+        ]
+        with QueryExecutor(index, max_workers=3) as executor:
+            outcomes = executor.run_batch(queries)
+        assert [outcome.ok for outcome in outcomes] == [True, False, True]
+        assert isinstance(outcomes[1].error, InfeasibleQueryError)
+        assert outcomes[1].trace.status == "infeasible"
+        # The failure stayed isolated: neighbours solved to optimality.
+        assert outcomes[0].result.optimal and outcomes[2].result.optimal
+
+    def test_deterministic_input_ordering(self, index):
+        queries = [["q%d" % (i % 6), "q%d" % ((i + 1) % 6)] for i in range(24)]
+        with QueryExecutor(index, max_workers=8) as executor:
+            outcomes = executor.run_batch(queries)
+        assert [outcome.query_id for outcome in outcomes] == list(range(24))
+        assert [list(outcome.labels) for outcome in outcomes] == queries
+
+    def test_map_returns_weights_and_none(self, index):
+        with QueryExecutor(index, max_workers=2) as executor:
+            weights = executor.map([["q0", "q1"], ["ghost"]])
+        assert weights[0] is not None and weights[0] >= 0.0
+        assert weights[1] is None
+
+    def test_submit_future_isolation(self, index):
+        with QueryExecutor(index) as executor:
+            future = executor.submit(["ghost"], query_id="f1")
+            outcome = future.result()
+        assert not outcome.ok  # the error rides the outcome, not the future
+        assert outcome.query_id == "f1"
+
+    def test_submit_after_shutdown_raises(self, index):
+        executor = QueryExecutor(index)
+        executor.shutdown()
+        with pytest.raises(RuntimeError):
+            executor.submit(["q0"])
+
+    def test_invalid_max_workers(self, index):
+        with pytest.raises(ValueError):
+            QueryExecutor(index, max_workers=0)
+
+
+class TestDeadlines:
+    def test_already_expired_deadline_skips_whole_batch(self, index):
+        expired = Budget().replace(deadline=time.perf_counter() - 1.0)
+        with QueryExecutor(index, max_workers=2) as executor:
+            outcomes = executor.run_batch([["q0", "q1"]] * 6, budget=expired)
+        assert all(not outcome.ok for outcome in outcomes)
+        assert all(
+            isinstance(outcome.error, LimitExceededError) for outcome in outcomes
+        )
+        assert {outcome.trace.status for outcome in outcomes} == {"skipped"}
+
+    def test_deadline_expiry_mid_batch(self, index):
+        # One worker drains 150 queries against a ~10ms allowance: the
+        # head of the queue may run, the tail must be skipped, and the
+        # outcomes still come back complete and in order.
+        queries = [["q0", "q1", "q2", "q3"]] * 150
+        with QueryExecutor(index, max_workers=1) as executor:
+            outcomes = executor.run_batch(queries, deadline=0.01)
+        statuses = [outcome.trace.status for outcome in outcomes]
+        assert len(outcomes) == len(queries)
+        assert set(statuses) <= {"ok", "skipped"}
+        assert "skipped" in statuses
+        # Skips are real outcomes, not exceptions out of the batch.
+        for outcome in outcomes:
+            if outcome.trace.status == "skipped":
+                assert isinstance(outcome.error, LimitExceededError)
+
+    def test_deadline_clamps_time_limit(self, index):
+        budget = Budget(time_limit=100.0).with_deadline(10.0)
+        assert budget.effective_time_limit() <= 10.0
+        with QueryExecutor(index) as executor:
+            outcomes = executor.run_batch([["q0", "q1"]], budget=budget)
+        assert outcomes[0].ok
+
+
+class TestSharedIndexThreadSafety:
+    def test_stress_many_threads_one_index(self, index):
+        rng = random.Random(99)
+        pool = ["q0", "q1", "q2", "q3", "q4", "q5"]
+        queries = [rng.sample(pool, rng.randint(2, 3)) for _ in range(40)]
+        with QueryExecutor(index, max_workers=8) as executor:
+            outcomes = executor.run_batch(queries)
+        assert all(outcome.ok for outcome in outcomes)
+        # Concurrency must not change answers: spot-check against the
+        # sequential cold solver.
+        for outcome in outcomes[::8]:
+            cold = PrunedDPPlusPlusSolver(index.graph, outcome.labels).solve()
+            assert outcome.result.weight == pytest.approx(cold.weight)
+        # All workers shared one cache: at most one miss per label.
+        info = index.cache_info()
+        assert info["misses"] <= len(pool) * 2  # benign double-compute races
+        assert info["hits"] > 0
+
+
+class TestTraceStreaming:
+    def test_jsonl_sink_receives_every_trace(self, index, tmp_path):
+        path = str(tmp_path / "traces.jsonl")
+        queries = [["q0", "q1"], ["ghost"], ["q2", "q3"]]
+        with TraceSink(path) as sink:
+            with QueryExecutor(index, max_workers=3, trace_sink=sink) as executor:
+                executor.run_batch(queries)
+            assert sink.count == len(queries)
+        with open(path, encoding="utf-8") as handle:
+            records = [json.loads(line) for line in handle]
+        assert len(records) == len(queries)
+        by_id = {record["query_id"]: record for record in records}
+        assert by_id[0]["status"] == "ok"
+        assert by_id[1]["status"] == "infeasible"
+        assert set(by_id[0]["stages"]) == {
+            "context_build",
+            "bounds_build",
+            "search",
+            "feasible",
+        }

@@ -1,0 +1,132 @@
+"""QueryTrace / TraceSink serialization and engine event hooks."""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro.core import PrunedDPPlusPlusSolver
+from repro.graph import generators
+from repro.service import GraphIndex, QueryTrace, TraceSink
+from repro.service.telemetry import STAGES
+
+
+@pytest.fixture
+def graph():
+    return generators.random_graph(
+        50, 110, num_query_labels=5, label_frequency=3, seed=11
+    )
+
+
+def _trace(**overrides) -> QueryTrace:
+    base = dict(query_id=1, labels=("a", "b"), algorithm="pruneddp++")
+    base.update(overrides)
+    return QueryTrace(**base)
+
+
+class TestQueryTrace:
+    def test_stage_total(self):
+        trace = _trace(stages={"context_build": 0.1, "search": 0.3})
+        assert trace.stage_total == pytest.approx(0.4)
+
+    def test_ok_property_tracks_status(self):
+        assert _trace().ok
+        assert not _trace(status="infeasible").ok
+
+    def test_to_dict_roundtrips_through_json(self):
+        trace = _trace(
+            weight=4.5,
+            optimal=True,
+            ratio=1.0,
+            stages={stage: 0.0 for stage in STAGES},
+        )
+        record = json.loads(trace.to_json())
+        assert record["weight"] == 4.5
+        assert record["labels"] == ["a", "b"]
+        assert set(record["stages"]) == set(STAGES)
+
+    def test_infinite_values_serialize_as_strings(self):
+        trace = _trace(
+            weight=float("inf"),
+            ratio=float("inf"),
+            events=[{"event": "new_best", "weight": float("inf")}],
+        )
+        record = json.loads(trace.to_json())  # strict JSON, no Infinity
+        assert record["weight"] == "inf"
+        assert record["ratio"] == "inf"
+        assert record["events"][0]["weight"] == "inf"
+
+
+class TestTraceSink:
+    def test_path_destination_owns_file(self, tmp_path):
+        path = str(tmp_path / "out.jsonl")
+        with TraceSink(path) as sink:
+            sink.write(_trace())
+            assert sink.count == 1
+        with open(path, encoding="utf-8") as handle:
+            assert json.loads(handle.readline())["query_id"] == 1
+
+    def test_file_object_destination_left_open(self):
+        buffer = io.StringIO()
+        sink = TraceSink(buffer)
+        sink.write(_trace())
+        sink.close()
+        assert not buffer.closed  # caller's handle is not the sink's to close
+        assert buffer.getvalue().count("\n") == 1
+
+    def test_concurrent_writes_produce_whole_lines(self):
+        buffer = io.StringIO()
+        sink = TraceSink(buffer)
+        per_thread = 25
+
+        def spam(thread_id: int) -> None:
+            for i in range(per_thread):
+                sink.write(_trace(query_id=f"{thread_id}-{i}"))
+
+        threads = [threading.Thread(target=spam, args=(t,)) for t in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        lines = buffer.getvalue().splitlines()
+        assert len(lines) == 8 * per_thread == sink.count
+        ids = {json.loads(line)["query_id"] for line in lines}
+        assert len(ids) == 8 * per_thread  # no torn or interleaved writes
+
+
+class TestEngineEvents:
+    def test_solver_emits_lifecycle_events(self, graph):
+        events = []
+        PrunedDPPlusPlusSolver(
+            graph,
+            ["q0", "q1"],
+            on_event=lambda name, payload: events.append((name, payload)),
+        ).solve()
+        names = [name for name, _ in events]
+        assert names[0] == "search_started"
+        assert names[-1] == "search_finished"
+        assert "new_best" in names
+        finished = dict(events[-1][1])
+        assert finished["optimal"] is True
+        assert finished["best_weight"] >= 0.0
+
+    def test_feasible_seconds_accounted(self, graph):
+        result = PrunedDPPlusPlusSolver(graph, ["q0", "q1", "q2"]).solve()
+        stats = result.stats.to_dict()
+        assert stats["feasible_seconds"] >= 0.0
+        assert stats["feasible_seconds"] <= stats["total_seconds"]
+
+    def test_execute_trace_consistent_with_result(self, graph):
+        outcome = GraphIndex(graph).execute(["q0", "q1"])
+        trace = outcome.trace
+        assert trace.ok
+        assert trace.algorithm == "pruneddp++"
+        assert trace.optimal == outcome.result.optimal
+        assert trace.stats["states_popped"] == outcome.result.stats.states_popped
+        assert trace.wall_seconds > 0.0
+        # The recorded stages account for (almost) all of the wall time.
+        assert trace.stage_total <= trace.wall_seconds
+        assert trace.stage_total >= 0.5 * trace.wall_seconds

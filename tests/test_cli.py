@@ -173,3 +173,120 @@ class TestBench:
         ])
         assert code == 0
         assert "BANKS-II" in capsys.readouterr().out
+
+
+class TestBatch:
+    @pytest.fixture
+    def query_file(self, tmp_path):
+        path = tmp_path / "queries.txt"
+        path.write_text(
+            "# comment lines and blanks are skipped\n"
+            "\n"
+            "q0,q1\n"
+            "q1, q2 ,q3\n"
+            "q0,ghost\n",
+            encoding="utf-8",
+        )
+        return str(path)
+
+    def test_batch_mixed_outcomes(self, stored_graph, query_file, capsys):
+        stem, _ = stored_graph
+        code = main(["batch", "--graph", stem, "--queries", query_file])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "3 queries (2 ok, 1 failed)" in out
+        assert "infeasible" in out
+        assert "q/s" in out
+
+    def test_batch_quiet_prints_only_summary(
+        self, stored_graph, query_file, capsys
+    ):
+        stem, _ = stored_graph
+        code = main(
+            ["batch", "--graph", stem, "--queries", query_file, "--quiet"]
+        )
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 1 and lines[0].startswith("batch:")
+
+    def test_batch_writes_jsonl_traces(
+        self, stored_graph, query_file, tmp_path, capsys
+    ):
+        import json
+
+        stem, graph = stored_graph
+        traces = str(tmp_path / "traces.jsonl")
+        code = main([
+            "batch", "--graph", stem, "--queries", query_file,
+            "--traces", traces, "--max-workers", "2",
+        ])
+        assert code == 0
+        with open(traces, encoding="utf-8") as handle:
+            records = [json.loads(line) for line in handle]
+        # The sink streams in completion order; all queries must appear.
+        assert sorted(record["query_id"] for record in records) == [0, 1, 2]
+        statuses = {record["query_id"]: record["status"] for record in records}
+        assert statuses[0] == "ok" and statuses[2] == "infeasible"
+        capsys.readouterr()
+
+    def test_batch_matches_solve(self, stored_graph, tmp_path, capsys):
+        from repro import solve_gst
+
+        stem, graph = stored_graph
+        path = tmp_path / "one.txt"
+        path.write_text("q0,q1\n", encoding="utf-8")
+        code = main(["batch", "--graph", stem, "--queries", str(path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        expected = solve_gst(graph, ["q0", "q1"]).weight
+        assert f"weight={expected:g}" in out
+
+    def test_batch_all_failed_exit_code(self, stored_graph, tmp_path, capsys):
+        stem, _ = stored_graph
+        path = tmp_path / "bad.txt"
+        path.write_text("ghost,phantom\n", encoding="utf-8")
+        code = main(["batch", "--graph", stem, "--queries", str(path)])
+        assert code == 2
+        capsys.readouterr()
+
+    def test_batch_empty_query_file_is_clean_error(
+        self, stored_graph, tmp_path, capsys
+    ):
+        stem, _ = stored_graph
+        path = tmp_path / "empty.txt"
+        path.write_text("# nothing here\n", encoding="utf-8")
+        code = main(["batch", "--graph", stem, "--queries", str(path)])
+        assert code == 2
+        assert "no queries found" in capsys.readouterr().err
+
+    def test_batch_missing_query_file(self, stored_graph, capsys):
+        stem, _ = stored_graph
+        code = main(["batch", "--graph", stem, "--queries", "/nope/missing"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_batch_invalid_limits_are_clean_errors(
+        self, stored_graph, query_file, capsys
+    ):
+        stem, _ = stored_graph
+        for flags in (
+            ["--max-workers", "0"],
+            ["--epsilon", "-1"],
+            ["--deadline", "-1"],
+        ):
+            code = main(
+                ["batch", "--graph", stem, "--queries", query_file, *flags]
+            )
+            assert code == 2, flags
+            assert "error:" in capsys.readouterr().err
+
+    def test_batch_deadline_zero_skips_everything(
+        self, stored_graph, query_file, capsys
+    ):
+        stem, _ = stored_graph
+        code = main([
+            "batch", "--graph", stem, "--queries", query_file,
+            "--deadline", "0",
+        ])
+        assert code == 2  # nothing succeeded
+        assert "skipped" in capsys.readouterr().out
