@@ -1,0 +1,141 @@
+#!/usr/bin/env python
+"""The resilience layer: every mechanism that keeps a batch alive.
+
+Serves a workload through a :class:`repro.service.QueryExecutor` wired
+with all four resilience mechanisms, demonstrating each in turn:
+
+1. admission control — an oversized query is rejected *before* any
+   search runs, with the estimated cost on the typed error;
+2. cooperative cancellation — a batch is cancelled mid-flight; running
+   queries return their incumbent (bounded-gap) answers, queued ones
+   stop without popping a single state;
+3. retry with degradation — a solver booby-trapped to crash is rescued
+   one rung down the ``pruneddp++ → pruneddp → basic`` ladder;
+4. circuit breaking — the crashing solver trips its breaker, later
+   queries shed straight past it, and a half-open probe heals it once
+   the "outage" ends.
+
+Run:  python examples/resilient_batch_demo.py
+"""
+
+import threading
+import time
+
+import repro.core.solver as solver_mod
+from repro import (
+    AdmissionPolicy,
+    BreakerPolicy,
+    Budget,
+    CancellationToken,
+    GraphIndex,
+    QueryExecutor,
+    QueryRejectedError,
+    RetryPolicy,
+)
+from repro.graph import generators
+
+
+def banner(title: str) -> None:
+    print(f"\n=== {title} " + "=" * max(0, 60 - len(title)))
+
+
+def main() -> None:
+    graph = generators.random_graph(
+        300, 800, num_query_labels=8, label_frequency=6, seed=5
+    )
+    index = GraphIndex(graph)
+    print(f"graph: {graph}")
+
+    # --- 1. admission control -----------------------------------------
+    banner("admission control")
+    with QueryExecutor(
+        index, admission=AdmissionPolicy(max_estimated_states=50_000)
+    ) as ex:
+        outcomes = ex.run_batch([
+            ["q0", "q1"],                                # cheap: admitted
+            [f"q{i}" for i in range(8)],                 # 2^8 states: rejected
+        ])
+    for o in outcomes:
+        if isinstance(o.error, QueryRejectedError):
+            print(f"  {list(o.labels)!r:50s} rejected "
+                  f"(~{o.error.estimated_states:,} states)")
+        else:
+            print(f"  {list(o.labels)!r:50s} {o.trace.status} "
+                  f"weight={o.result.weight:.1f}")
+
+    # --- 2. cooperative cancellation ----------------------------------
+    banner("cooperative cancellation")
+    token = CancellationToken()
+    heavy = [[f"q{i}" for i in range(6)]] * 8
+    with QueryExecutor(index, max_workers=2, algorithm="basic") as ex:
+        timer = threading.Timer(0.05, token.cancel, args=("demo deadline",))
+        timer.start()
+        outcomes = ex.run_batch(heavy, cancel_token=token)
+        timer.cancel()
+    statuses = [o.trace.status for o in outcomes]
+    print(f"  statuses after cancel: {statuses}")
+    kept = [o for o in outcomes if o.trace.status == "cancelled" and o.ok]
+    if kept:
+        o = kept[0]
+        print(f"  incumbent kept: weight={o.result.weight:.1f} "
+              f"ratio<={o.result.ratio:.2f} (bounded-gap, still valid)")
+
+    # --- 3 + 4. retry ladder and circuit breaking ---------------------
+    banner("retry ladder + circuit breaker")
+    real = solver_mod.ALGORITHMS["pruneddp++"]
+    outage = {"on": True}
+
+    class Unreliable(real):
+        def run_search(self, context, prepared=None):
+            if outage["on"]:
+                raise RuntimeError("simulated backend outage")
+            return super().run_search(context, prepared)
+
+    solver_mod.ALGORITHMS["pruneddp++"] = Unreliable
+    try:
+        ex = QueryExecutor(
+            index,
+            max_workers=1,
+            retry_policy=RetryPolicy(max_retries=2),
+            breaker_policy=BreakerPolicy(
+                failure_threshold=2, cooldown_seconds=0.1
+            ),
+        )
+        with ex:
+            for i in range(3):
+                o = ex.run_batch([["q0", f"q{i + 1}"]])[0]
+                print(f"  query {i}: {o.trace.status} via {o.algorithm} "
+                      f"(attempts={o.trace.attempts} "
+                      f"degraded={o.trace.degraded} "
+                      f"breaker_skips={o.trace.breaker_skips})")
+            print(f"  breakers: { {k: v['state'] for k, v in ex.breaker_snapshot().items()} }")
+            outage["on"] = False
+            time.sleep(0.12)  # cooldown elapses -> half-open probe allowed
+            o = ex.run_batch([["q2", "q3"]])[0]
+            print(f"  after outage: {o.trace.status} via {o.algorithm} "
+                  f"(degraded={o.trace.degraded})")
+            print(f"  breakers: { {k: v['state'] for k, v in ex.breaker_snapshot().items()} }")
+    finally:
+        solver_mod.ALGORITHMS["pruneddp++"] = real
+
+    # --- everything composes with plain budgets -----------------------
+    banner("all together")
+    with QueryExecutor(
+        index,
+        max_workers=4,
+        admission=AdmissionPolicy(max_estimated_states=10**9),
+        retry_policy=RetryPolicy(max_retries=1),
+        breaker_policy=BreakerPolicy(),
+        budget=Budget(epsilon=0.1),
+    ) as ex:
+        outcomes = ex.run_batch(
+            [["q0", "q1"], ["q2", "q3"], ["q4", "q5"]], deadline=10.0
+        )
+    for o in outcomes:
+        print(f"  {list(o.labels)!r:20s} {o.trace.status} "
+              f"ratio<={o.result.ratio:.2f} "
+              f"admitted={o.trace.admission['action'] == 'admit'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -27,6 +27,9 @@ from .errors import (
     QueryError,
     InfeasibleQueryError,
     LimitExceededError,
+    QueryRejectedError,
+    QueryCancelledError,
+    CircuitOpenError,
 )
 from .graph import Graph
 from .core import (
@@ -45,10 +48,16 @@ from .core import (
     exact_top_r_trees,
 )
 from .service import (
+    AdmissionController,
+    AdmissionPolicy,
+    BreakerPolicy,
+    CancellationToken,
+    CircuitBreaker,
     GraphIndex,
     QueryExecutor,
     QueryOutcome,
     QueryTrace,
+    RetryPolicy,
     TraceSink,
 )
 
@@ -79,5 +88,14 @@ __all__ = [
     "QueryError",
     "InfeasibleQueryError",
     "LimitExceededError",
+    "QueryRejectedError",
+    "QueryCancelledError",
+    "CircuitOpenError",
+    "CancellationToken",
+    "AdmissionController",
+    "AdmissionPolicy",
+    "RetryPolicy",
+    "BreakerPolicy",
+    "CircuitBreaker",
     "__version__",
 ]

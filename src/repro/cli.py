@@ -96,6 +96,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="whole-batch wall-clock allowance in seconds")
     batch.add_argument("--traces", default=None,
                        help="write per-query JSONL traces to this file")
+    batch.add_argument("--retries", type=int, default=0,
+                       help="re-run timed-out/crashed queries up to N times")
+    batch.add_argument("--degrade", action="store_true",
+                       help="with --retries: each retry drops one rung down "
+                            "the pruneddp++>pruneddp>basic ladder with a "
+                            "growing epsilon (bounded-gap degraded answers)")
+    batch.add_argument("--admission", type=int, default=None, metavar="STATES",
+                       help="reject queries whose estimated DP state space "
+                            "exceeds STATES (admission control)")
     batch.add_argument("--quiet", action="store_true",
                        help="print only the summary line")
 
@@ -237,7 +246,13 @@ def _read_query_file(path: str) -> List[List[str]]:
 
 def _cmd_batch(args: argparse.Namespace) -> int:
     from .core.budget import Budget
-    from .service import GraphIndex, QueryExecutor, TraceSink
+    from .service import (
+        AdmissionPolicy,
+        GraphIndex,
+        QueryExecutor,
+        RetryPolicy,
+        TraceSink,
+    )
 
     graph = load_graph(args.graph)
     queries = _read_query_file(args.queries)
@@ -245,6 +260,18 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         time_limit=args.time_limit,
         epsilon=args.epsilon,
         max_states=args.max_states,
+    )
+    if args.retries < 0:
+        raise ReproError("--retries must be >= 0")
+    retry_policy = None
+    if args.retries > 0 or args.degrade:
+        retry_policy = RetryPolicy(
+            max_retries=max(1, args.retries), degrade=args.degrade
+        )
+    admission = (
+        AdmissionPolicy(max_estimated_states=args.admission)
+        if args.admission is not None
+        else None
     )
     sink = TraceSink(args.traces) if args.traces else None
     index = GraphIndex(graph)
@@ -256,6 +283,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             algorithm=args.algorithm,
             budget=budget,
             trace_sink=sink,
+            retry_policy=retry_policy,
+            admission=admission,
         ) as executor:
             outcomes = executor.run_batch(queries, deadline=args.deadline)
     finally:
@@ -264,6 +293,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     total = _time.perf_counter() - started
 
     ok = 0
+    degraded = rejected = retried = 0
     for outcome in outcomes:
         trace = outcome.trace
         if outcome.ok:
@@ -273,8 +303,13 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                 f"weight={weight:g} "
                 f"{'optimal' if outcome.result.optimal else 'anytime'}"
             )
+            if trace.degraded:
+                detail += f" degraded->{trace.algorithm}"
         else:
             detail = trace.error or "failed"
+        degraded += trace.degraded
+        rejected += trace.status == "rejected"
+        retried += trace.attempts > 1
         if not args.quiet:
             print(
                 f"[{outcome.query_id:>3}] {trace.status:<10} "
@@ -287,6 +322,11 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         f"failed) in {total:.3f}s = {qps:.1f} q/s "
         f"[{args.algorithm}, {executor.max_workers} workers]"
     )
+    if degraded or rejected or retried:
+        print(
+            f"resilience: {retried} retried, {degraded} degraded, "
+            f"{rejected} rejected"
+        )
     if sink is not None:
         print(f"traces: {sink.count} records -> {args.traces}")
     return 0 if ok > 0 else 2

@@ -12,7 +12,10 @@ equivalents remain accepted and win over the budget's fields):
 ``budget``
     A :class:`Budget` carrying ``time_limit`` / ``epsilon`` /
     ``max_states`` / ``on_limit`` (and, for batch execution, an
-    absolute deadline).
+    absolute deadline and/or a cooperative
+    :class:`~repro.core.budget.CancellationToken`; a fired token stops
+    the engine within a bounded number of state pops, returning the
+    best feasible answer so far with ``result.stats.cancelled`` set).
 ``time_limit``
     Seconds after which the best feasible answer so far is returned
     (``result.optimal`` tells whether optimality was proven anyway).

@@ -12,18 +12,60 @@ carry an absolute *deadline* (a ``time.perf_counter`` timestamp), which
 the batch executor uses to make a whole batch share one wall-clock
 allowance: each query's effective time limit is the smaller of its own
 ``time_limit`` and whatever remains until the deadline.
+
+A budget may finally carry a :class:`CancellationToken` — a shared,
+thread-safe flag the search engine polls inside its pop loop.  Cancel
+the token and every query holding it stops within a bounded number of
+state pops, returning its best feasible answer so far (the progressive
+contract makes that answer valid, with a sound recorded gap).
 """
 
 from __future__ import annotations
 
 import dataclasses
+import threading
 import time
 from dataclasses import dataclass
 from typing import Optional
 
-__all__ = ["Budget"]
+__all__ = ["Budget", "CancellationToken"]
 
 _UNSET = object()
+
+
+class CancellationToken:
+    """A shared cooperative-cancellation flag.
+
+    One token can be attached to many budgets (typically one per batch);
+    :meth:`cancel` is thread-safe, idempotent, and observed by the search
+    engine at its periodic limit check — queries stop within a bounded
+    number of state pops, they are never killed mid-state.
+    """
+
+    __slots__ = ("_event", "_reason")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._reason: Optional[str] = None
+
+    def cancel(self, reason: Optional[str] = None) -> None:
+        """Fire the token.  The first recorded reason wins."""
+        if not self._event.is_set():
+            self._reason = reason
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+    @property
+    def reason(self) -> Optional[str]:
+        """Why the token fired (``None`` while live or when unstated)."""
+        return self._reason
+
+    def __repr__(self) -> str:
+        state = f"cancelled, reason={self._reason!r}" if self.cancelled else "live"
+        return f"CancellationToken({state})"
 
 
 @dataclass(frozen=True)
@@ -43,6 +85,9 @@ class Budget:
         Absolute ``time.perf_counter()`` timestamp after which no more
         work should start.  Usually set via :meth:`with_deadline` by
         the batch executor, not by hand.
+    ``cancel_token``
+        Optional shared :class:`CancellationToken` polled by the search
+        engine's pop loop; usually attached via :meth:`with_cancellation`.
     """
 
     time_limit: Optional[float] = None
@@ -50,6 +95,7 @@ class Budget:
     max_states: Optional[int] = None
     on_limit: str = "return"
     deadline: Optional[float] = None
+    cancel_token: Optional[CancellationToken] = None
 
     def __post_init__(self) -> None:
         if self.time_limit is not None and self.time_limit < 0.0:
@@ -86,6 +132,7 @@ class Budget:
             max_states=max_states if max_states is not None else base.max_states,
             on_limit=on_limit if on_limit is not None else base.on_limit,
             deadline=base.deadline,
+            cancel_token=base.cancel_token,
         )
 
     def replace(self, **changes) -> "Budget":
@@ -93,10 +140,22 @@ class Budget:
         return dataclasses.replace(self, **changes)
 
     def with_deadline(self, seconds_from_now: float) -> "Budget":
-        """A copy whose deadline is ``seconds_from_now`` from now."""
+        """A copy whose deadline is ``seconds_from_now`` from now.
+
+        A budget that already carries a deadline keeps the *earlier* of
+        the two — a batch nested inside an outer deadline can only
+        tighten the allowance, never extend it.
+        """
         if seconds_from_now < 0.0:
             raise ValueError("deadline must be >= 0 seconds from now")
-        return self.replace(deadline=time.perf_counter() + seconds_from_now)
+        new_deadline = time.perf_counter() + seconds_from_now
+        if self.deadline is not None:
+            new_deadline = min(new_deadline, self.deadline)
+        return self.replace(deadline=new_deadline)
+
+    def with_cancellation(self, token: CancellationToken) -> "Budget":
+        """A copy carrying the given cooperative-cancellation token."""
+        return self.replace(cancel_token=token)
 
     # ------------------------------------------------------------------
     # Deadline arithmetic
@@ -111,6 +170,10 @@ class Budget:
         """Whether the deadline has passed (never true without one)."""
         remaining = self.remaining()
         return remaining is not None and remaining <= 0.0
+
+    def cancelled(self) -> bool:
+        """Whether the attached cancellation token (if any) has fired."""
+        return self.cancel_token is not None and self.cancel_token.cancelled
 
     def effective_time_limit(self) -> Optional[float]:
         """``time_limit`` clamped by whatever remains until the deadline."""
@@ -130,6 +193,7 @@ class Budget:
             "epsilon": self.epsilon,
             "max_states": self.max_states,
             "on_limit": self.on_limit,
+            "cancel_token": self.cancel_token,
         }
 
     def to_dict(self) -> dict:
@@ -140,4 +204,5 @@ class Budget:
             "max_states": self.max_states,
             "on_limit": self.on_limit,
             "deadline_remaining": self.remaining(),
+            "cancelled": self.cancelled(),
         }

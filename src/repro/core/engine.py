@@ -73,6 +73,7 @@ class SearchEngine:
         epsilon: float = 0.0,
         max_states: Optional[int] = None,
         on_limit: str = "return",
+        cancel_token=None,
         on_progress: Optional[Callable[[ProgressPoint], None]] = None,
         on_feasible: Optional[Callable[[SteinerTree], None]] = None,
         on_event: Optional[Callable[[str, dict], None]] = None,
@@ -96,6 +97,7 @@ class SearchEngine:
         self.epsilon = epsilon
         self.max_states = max_states
         self.on_limit = on_limit
+        self.cancel_token = cancel_token
         self.on_progress = on_progress
         self.on_feasible = on_feasible
         self.on_event = on_event
@@ -122,6 +124,23 @@ class SearchEngine:
         """Execute the search and return the (possibly anytime) result."""
         self._started = time.perf_counter() - self.stats.init_seconds
         self._emit("search_started", algorithm=self.algorithm_name)
+        if self.cancel_token is not None and self.cancel_token.cancelled:
+            # Cancelled before any work: return an empty anytime result
+            # without seeding a single state.
+            self.stats.cancelled = True
+            self.stats.total_seconds = self._elapsed()
+            self._record_progress(force=True)
+            self._emit("search_cancelled", elapsed=self.stats.total_seconds)
+            return GSTResult(
+                algorithm=self.algorithm_name,
+                labels=self.context.query.labels,
+                tree=None,
+                weight=INF,
+                lower_bound=0.0,
+                optimal=False,
+                stats=self.stats,
+                trace=self.trace,
+            )
         self._seed_states()
 
         optimal = False
@@ -373,6 +392,13 @@ class SearchEngine:
         return self._best <= (1.0 + self.epsilon) * self._global_lb + _COST_EPS
 
     def _limits_hit(self) -> bool:
+        if self.cancel_token is not None and self.cancel_token.cancelled:
+            # Cooperative cancellation: checked every
+            # ``_LIMIT_CHECK_INTERVAL`` pops, so a cancelled query stops
+            # within that many pops and returns its incumbent answer.
+            self.stats.cancelled = True
+            self._emit("search_cancelled", elapsed=self._elapsed())
+            return True
         if self.time_limit is not None and self._elapsed() >= self.time_limit:
             return True
         if self.max_states is not None and self.stats.states_popped >= self.max_states:

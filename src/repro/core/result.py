@@ -58,6 +58,9 @@ class SearchStats:
     init_seconds: float = 0.0
     total_seconds: float = 0.0
     feasible_seconds: float = 0.0
+    # True when a cooperative cancellation token stopped the search
+    # before it could finish (the result is then the best-so-far answer).
+    cancelled: bool = False
 
     @property
     def estimated_bytes(self) -> int:
@@ -87,6 +90,7 @@ class SearchStats:
             "init_seconds": self.init_seconds,
             "total_seconds": self.total_seconds,
             "feasible_seconds": self.feasible_seconds,
+            "cancelled": self.cancelled,
         }
 
 

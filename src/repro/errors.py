@@ -2,12 +2,16 @@
 
 Every error raised by the library derives from :class:`ReproError`, so
 applications can catch a single type at their boundary.  The subclasses
-distinguish the three failure modes a Group Steiner Tree (GST) workload
-can hit: malformed graphs, malformed or unsatisfiable queries, and
-resource-limit interruptions.
+distinguish the failure modes a Group Steiner Tree (GST) workload can
+hit: malformed graphs, malformed or unsatisfiable queries,
+resource-limit interruptions, and — for the query service's resilience
+layer — admission rejections, cooperative cancellations, and open
+circuit breakers.
 """
 
 from __future__ import annotations
+
+from typing import Optional
 
 __all__ = [
     "ReproError",
@@ -15,6 +19,9 @@ __all__ = [
     "QueryError",
     "InfeasibleQueryError",
     "LimitExceededError",
+    "QueryRejectedError",
+    "QueryCancelledError",
+    "CircuitOpenError",
 ]
 
 
@@ -51,4 +58,46 @@ class LimitExceededError(ReproError):
     the best feasible answer found so far (that is the whole point of a
     progressive algorithm).  The error is reserved for hard limits such
     as ``max_states`` with ``on_limit='raise'``.
+    """
+
+
+class QueryRejectedError(ReproError):
+    """Admission control refused to run the query at all.
+
+    Raised (or captured into a :class:`~repro.service.index.QueryOutcome`)
+    by the service's :class:`~repro.service.resilience.AdmissionController`
+    when a query's estimated state-space cost would blow the batch
+    deadline or exceed the configured ceiling.  Carries the estimate so
+    callers can resubmit with a smaller query or a bigger budget.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        estimated_states: Optional[int] = None,
+        estimated_seconds: Optional[float] = None,
+    ) -> None:
+        super().__init__(message)
+        self.estimated_states = estimated_states
+        self.estimated_seconds = estimated_seconds
+
+
+class QueryCancelledError(ReproError):
+    """The query's cooperative cancellation token fired.
+
+    The engine stops within a bounded number of state pops after the
+    token is cancelled.  If a feasible tree was already found it is
+    returned (the progressive contract); this error appears only when
+    cancellation struck before *any* feasible answer existed.
+    """
+
+
+class CircuitOpenError(ReproError):
+    """Every eligible algorithm's circuit breaker is open.
+
+    The executor's per-algorithm breakers shed a systematically failing
+    configuration down the degradation ladder; when the whole ladder is
+    open the query is failed fast with this error instead of burning a
+    worker on a doomed attempt.
     """

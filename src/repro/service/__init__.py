@@ -12,7 +12,13 @@ This package is the production-serving layer over the paper's solvers:
   object (``time_limit`` / ``epsilon`` / ``max_states`` / ``on_limit``
   / deadline) every entry point now shares;
 * :class:`QueryTrace` / :class:`TraceSink` — structured per-stage
-  telemetry and its JSONL sink.
+  telemetry and its JSONL sink;
+* the resilience layer (:mod:`repro.service.resilience`) —
+  :class:`~repro.core.budget.CancellationToken` cooperative
+  cancellation, :class:`AdmissionController` pre-flight cost gating,
+  :class:`RetryPolicy` retry-with-degradation down the
+  ``pruneddp++ → pruneddp → basic`` ladder, and per-algorithm
+  :class:`CircuitBreaker` load shedding.
 
 Typical use::
 
@@ -26,13 +32,25 @@ Typical use::
             print(outcome.result.weight, outcome.trace.stages)
 """
 
-from ..core.budget import Budget
+from ..core.budget import Budget, CancellationToken
 from .index import DEFAULT_MAX_CACHED_LABELS, GraphIndex, QueryOutcome
 from .executor import QueryExecutor
+from .resilience import (
+    DEGRADATION_LADDER,
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionPolicy,
+    BreakerBoard,
+    BreakerPolicy,
+    CircuitBreaker,
+    ResiliencePipeline,
+    RetryPolicy,
+)
 from .telemetry import STAGES, QueryTrace, TraceSink
 
 __all__ = [
     "Budget",
+    "CancellationToken",
     "GraphIndex",
     "QueryOutcome",
     "QueryExecutor",
@@ -40,4 +58,13 @@ __all__ = [
     "TraceSink",
     "STAGES",
     "DEFAULT_MAX_CACHED_LABELS",
+    "DEGRADATION_LADDER",
+    "AdmissionController",
+    "AdmissionDecision",
+    "AdmissionPolicy",
+    "BreakerBoard",
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "ResiliencePipeline",
+    "RetryPolicy",
 ]

@@ -13,6 +13,14 @@ shared index, with
 * **deadlines** — a batch-wide wall-clock allowance threaded through
   the shared :class:`~repro.core.budget.Budget`: queries started near
   the deadline get a clamped time limit, queries after it are skipped;
+* **cancellation** — pass a
+  :class:`~repro.core.budget.CancellationToken` to ``run_batch`` /
+  ``submit`` (or attach one to the budget) and every in-flight query
+  stops within a bounded number of state pops;
+* **resilience** — optional admission control, a retry/degradation
+  ladder, and per-algorithm circuit breakers
+  (see :mod:`repro.service.resilience`), composed into one pipeline
+  every query runs through;
 * **telemetry** — every outcome carries a
   :class:`~repro.service.telemetry.QueryTrace`; give the executor a
   :class:`~repro.service.telemetry.TraceSink` to stream them as JSONL.
@@ -26,11 +34,19 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import Future, ThreadPoolExecutor
-from typing import Hashable, Iterable, List, Optional, Sequence, Union
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Union
 
-from ..core.budget import Budget
+from ..core.budget import Budget, CancellationToken
 from ..graph.graph import Graph
 from .index import GraphIndex, QueryOutcome
+from .resilience import (
+    AdmissionController,
+    AdmissionPolicy,
+    BreakerBoard,
+    BreakerPolicy,
+    ResiliencePipeline,
+    RetryPolicy,
+)
 from .telemetry import TraceSink
 
 __all__ = ["QueryExecutor"]
@@ -51,6 +67,9 @@ class QueryExecutor:
         algorithm: str = "pruneddp++",
         budget: Optional[Budget] = None,
         trace_sink: Optional[TraceSink] = None,
+        admission: Optional[Union[AdmissionController, AdmissionPolicy]] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        breaker_policy: Optional[BreakerPolicy] = None,
     ) -> None:
         if max_workers is not None and max_workers <= 0:
             raise ValueError("max_workers must be positive")
@@ -59,6 +78,16 @@ class QueryExecutor:
         self.algorithm = algorithm
         self.budget = budget
         self.trace_sink = trace_sink
+        if isinstance(admission, AdmissionPolicy):
+            admission = AdmissionController(self.index, admission)
+        self.breakers: Optional[BreakerBoard] = (
+            BreakerBoard(breaker_policy) if breaker_policy is not None else None
+        )
+        self._pipeline = ResiliencePipeline(
+            admission=admission,
+            retry_policy=retry_policy,
+            breakers=self.breakers,
+        )
         self._pool = ThreadPoolExecutor(
             max_workers=self.max_workers, thread_name_prefix="gst-query"
         )
@@ -72,20 +101,27 @@ class QueryExecutor:
         algorithm: Optional[str] = None,
         budget: Optional[Budget] = None,
         query_id=None,
+        cancel_token: Optional[CancellationToken] = None,
         **solver_kwargs,
     ) -> "Future[QueryOutcome]":
         """Enqueue one query; the future resolves to a QueryOutcome.
 
         The future itself never carries an exception from the solve —
         errors are captured inside the outcome (isolation contract).
+        ``cancel_token`` (or one already on the budget) cancels the
+        query cooperatively: the engine stops within a bounded number
+        of state pops and the outcome records ``status="cancelled"``.
         """
         if self._closed:
             raise RuntimeError("executor is shut down")
+        effective = budget if budget is not None else self.budget
+        if cancel_token is not None:
+            effective = (effective or Budget()).with_cancellation(cancel_token)
         return self._pool.submit(
             self._run_one,
             tuple(labels),
             algorithm or self.algorithm,
-            budget if budget is not None else self.budget,
+            effective,
             query_id,
             solver_kwargs,
         )
@@ -97,6 +133,7 @@ class QueryExecutor:
         algorithm: Optional[str] = None,
         budget: Optional[Budget] = None,
         deadline: Optional[float] = None,
+        cancel_token: Optional[CancellationToken] = None,
         **solver_kwargs,
     ) -> List[QueryOutcome]:
         """Run a batch concurrently; outcomes come back in input order.
@@ -105,20 +142,39 @@ class QueryExecutor:
         shares one budget whose absolute deadline starts now.  Queries
         reaching the front after it passes are skipped (their outcome
         says so); queries started close to it run with what remains.
+        ``cancel_token`` is shared by every query in the batch: cancel
+        it and running queries return their best-so-far answers while
+        queued ones come back ``cancelled`` without starting.
         """
         batch_budget = budget if budget is not None else self.budget
         if deadline is not None:
             batch_budget = (batch_budget or Budget()).with_deadline(deadline)
-        futures = [
-            self.submit(
-                labels,
-                algorithm=algorithm,
-                budget=batch_budget,
-                query_id=i,
-                **solver_kwargs,
+        if cancel_token is not None:
+            batch_budget = (batch_budget or Budget()).with_cancellation(
+                cancel_token
             )
-            for i, labels in enumerate(queries)
-        ]
+        futures: List["Future[QueryOutcome]"] = []
+        try:
+            for i, labels in enumerate(queries):
+                futures.append(
+                    self.submit(
+                        labels,
+                        algorithm=algorithm,
+                        budget=batch_budget,
+                        query_id=i,
+                        **solver_kwargs,
+                    )
+                )
+        except Exception as exc:
+            # A mid-loop submit failure (e.g. a concurrent shutdown) must
+            # not abandon already-enqueued work: cancel whatever has not
+            # started and surface one clean error for the whole batch.
+            for future in futures:
+                future.cancel()
+            raise RuntimeError(
+                f"run_batch aborted after enqueueing {len(futures)} of "
+                f"{len(queries)} queries: {exc}"
+            ) from exc
         return [future.result() for future in futures]
 
     def map(
@@ -133,6 +189,11 @@ class QueryExecutor:
         ]
 
     # ------------------------------------------------------------------
+    def breaker_snapshot(self) -> Dict[str, dict]:
+        """Per-algorithm circuit-breaker states (empty without breakers)."""
+        return self.breakers.snapshot() if self.breakers is not None else {}
+
+    # ------------------------------------------------------------------
     def _run_one(
         self,
         labels,
@@ -141,13 +202,23 @@ class QueryExecutor:
         query_id,
         solver_kwargs: dict,
     ) -> QueryOutcome:
-        outcome = self.index.execute(
-            labels,
-            algorithm=algorithm,
-            budget=budget,
-            query_id=query_id,
-            **solver_kwargs,
-        )
+        if self._pipeline.is_noop:
+            outcome = self.index.execute(
+                labels,
+                algorithm=algorithm,
+                budget=budget,
+                query_id=query_id,
+                **solver_kwargs,
+            )
+        else:
+            outcome = self._pipeline.run(
+                self.index,
+                labels,
+                algorithm=algorithm,
+                budget=budget,
+                query_id=query_id,
+                **solver_kwargs,
+            )
         if self.trace_sink is not None:
             self.trace_sink.write(outcome.trace)
         return outcome

@@ -36,7 +36,12 @@ from ..core.context import QueryContext
 from ..core.query import GSTQuery
 from ..core.result import GSTResult
 from ..core.solver import ALGORITHMS
-from ..errors import InfeasibleQueryError, LimitExceededError, ReproError
+from ..errors import (
+    InfeasibleQueryError,
+    LimitExceededError,
+    QueryCancelledError,
+    ReproError,
+)
 from ..graph.components import component_ids as _component_ids
 from ..graph.graph import Graph
 from .telemetry import QueryTrace
@@ -193,7 +198,8 @@ class GraphIndex:
         query = labels if isinstance(labels, GSTQuery) else GSTQuery(labels)
         return QueryContext.build(self.graph, query, cache=self.cache)
 
-    def _resolve_algorithm(self, algorithm: str, labels: Sequence[Hashable]) -> str:
+    def resolve_algorithm(self, algorithm: str, labels: Sequence[Hashable]) -> str:
+        """Canonical solver key for ``algorithm`` (``"auto"`` is planned)."""
         key = algorithm.lower()
         if key == "auto":
             from ..core.planner import plan_algorithm
@@ -205,6 +211,9 @@ class GraphIndex:
                 f"{sorted(ALGORITHMS) + ['auto']}"
             )
         return key
+
+    # Backwards-compatible private alias.
+    _resolve_algorithm = resolve_algorithm
 
     def solve(
         self,
@@ -254,12 +263,20 @@ class GraphIndex:
         result: Optional[GSTResult] = None
         error: Optional[BaseException] = None
         try:
-            key = self._resolve_algorithm(algorithm, labels)
+            key = self.resolve_algorithm(algorithm, labels)
             trace.algorithm = key
             if budget is not None and budget.expired():
                 trace.status = "skipped"
                 raise LimitExceededError(
                     "batch deadline expired before query started"
+                )
+            if budget is not None and budget.cancelled():
+                trace.status = "cancelled"
+                trace.cancelled = True
+                reason = budget.cancel_token.reason
+                raise QueryCancelledError(
+                    "query cancelled before it started"
+                    + (f": {reason}" if reason else "")
                 )
             solver_cls = ALGORITHMS[key]
             trace.cache_hits = sum(1 for label in set(labels) if label in self.cache)
@@ -283,6 +300,23 @@ class GraphIndex:
             stage_started = time.perf_counter()
             result = solver.run_search(context, prepared)
             search_wall = time.perf_counter() - stage_started
+            if result.stats.cancelled:
+                # The token fired mid-search.  The progressive contract
+                # makes any incumbent feasible tree a valid (bounded-gap)
+                # answer; without one the cancellation is an error.
+                trace.status = "cancelled"
+                trace.cancelled = True
+                if result.tree is None:
+                    result = None
+                    reason = (
+                        budget.cancel_token.reason
+                        if budget is not None and budget.cancel_token is not None
+                        else None
+                    )
+                    raise QueryCancelledError(
+                        "query cancelled before any feasible answer was found"
+                        + (f": {reason}" if reason else "")
+                    )
             feasible = result.stats.feasible_seconds
             trace.stages["search"] = max(0.0, search_wall - feasible)
             trace.stages["feasible"] = feasible

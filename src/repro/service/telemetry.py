@@ -43,8 +43,20 @@ class QueryTrace:
 
     ``status`` is one of ``"ok"`` (a result came back), ``"infeasible"``
     (no component covers the labels), ``"skipped"`` (batch deadline
-    expired before the query started) or ``"error"`` (anything else);
-    only ``"ok"`` traces carry ``weight``/``optimal``/``ratio``.
+    expired before the query started), ``"cancelled"`` (the cooperative
+    cancellation token fired mid-search), ``"rejected"`` (admission
+    control refused the query) or ``"error"`` (anything else); only
+    ``"ok"`` and ``"cancelled"`` traces may carry
+    ``weight``/``optimal``/``ratio``.
+
+    The resilience fields record what the executor's retry machinery
+    did on the query's behalf: ``attempts`` counts solver executions
+    (1 when the first try sufficed), ``retries`` holds one record per
+    *failed* earlier attempt, ``degraded`` flags that the final answer
+    came from a lower ladder rung (or looser epsilon) than requested,
+    ``breaker_skips`` lists algorithms skipped because their circuit
+    breaker was open, and ``admission`` carries the admission
+    controller's cost estimate and decision.
     """
 
     query_id: Optional[Union[int, str]]
@@ -62,6 +74,14 @@ class QueryTrace:
     index_build_seconds: float = 0.0
     error: Optional[str] = None
     events: List[Dict[str, Any]] = field(default_factory=list)
+    # Resilience-layer fields (filled in by the executor's pipeline).
+    requested_algorithm: Optional[str] = None
+    attempts: int = 1
+    retries: List[Dict[str, Any]] = field(default_factory=list)
+    degraded: bool = False
+    cancelled: bool = False
+    breaker_skips: List[str] = field(default_factory=list)
+    admission: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -94,6 +114,16 @@ class QueryTrace:
                 {k: _json_num(v) for k, v in event.items()}
                 for event in self.events
             ],
+            "requested_algorithm": self.requested_algorithm,
+            "attempts": self.attempts,
+            "retries": [
+                {k: _json_num(v) for k, v in record.items()}
+                for record in self.retries
+            ],
+            "degraded": self.degraded,
+            "cancelled": self.cancelled,
+            "breaker_skips": list(self.breaker_skips),
+            "admission": self.admission,
         }
 
     def to_json(self) -> str:

@@ -102,6 +102,40 @@ class TestBudgetValue:
         with pytest.raises(ValueError):
             Budget().with_deadline(-1.0)
 
+    def test_with_deadline_keeps_earlier_when_tightening(self):
+        """Outer 100s allowance, then nested 10s batch: 10s wins."""
+        budget = Budget().with_deadline(100.0).with_deadline(10.0)
+        remaining = budget.remaining()
+        assert remaining is not None and remaining <= 10.0
+
+    def test_with_deadline_keeps_earlier_when_loosening(self):
+        """Outer 10s allowance, then nested 100s batch: a nested batch
+        must not extend the allowance it inherited — 10s still wins."""
+        budget = Budget().with_deadline(10.0).with_deadline(100.0)
+        remaining = budget.remaining()
+        assert remaining is not None and remaining <= 10.0
+
+    def test_with_cancellation_round_trip(self):
+        from repro.core.budget import CancellationToken
+
+        token = CancellationToken()
+        budget = Budget(time_limit=1.0).with_cancellation(token)
+        assert budget.cancel_token is token
+        assert not budget.cancelled()
+        assert budget.engine_kwargs()["cancel_token"] is token
+        token.cancel("because")
+        assert budget.cancelled()
+        assert token.reason == "because"
+        assert budget.to_dict()["cancelled"] is True
+
+    def test_coalesce_preserves_cancel_token(self):
+        from repro.core.budget import CancellationToken
+
+        token = CancellationToken()
+        base = Budget().with_cancellation(token)
+        merged = Budget.coalesce(base, time_limit=1.0)
+        assert merged.cancel_token is token
+
     def test_engine_kwargs_keys(self):
         kwargs = Budget(time_limit=3.0, epsilon=0.1, max_states=9).engine_kwargs()
         assert kwargs == {
@@ -109,6 +143,7 @@ class TestBudgetValue:
             "epsilon": 0.1,
             "max_states": 9,
             "on_limit": "return",
+            "cancel_token": None,
         }
 
     def test_to_dict_is_json_friendly(self):

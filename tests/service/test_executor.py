@@ -4,12 +4,19 @@ from __future__ import annotations
 
 import json
 import random
+import threading
 import time
 
 import pytest
 
+import repro.core.solver as solver_mod
 from repro.core import PrunedDPPlusPlusSolver
-from repro.errors import InfeasibleQueryError, LimitExceededError
+from repro.core.budget import CancellationToken
+from repro.errors import (
+    InfeasibleQueryError,
+    LimitExceededError,
+    QueryCancelledError,
+)
 from repro.graph import generators
 from repro.service import Budget, GraphIndex, QueryExecutor, TraceSink
 
@@ -129,6 +136,85 @@ class TestSharedIndexThreadSafety:
         info = index.cache_info()
         assert info["misses"] <= len(pool) * 2  # benign double-compute races
         assert info["hits"] > 0
+
+
+class TestRunBatchFutureLeak:
+    def test_midloop_submit_failure_cancels_enqueued_futures(
+        self, index, monkeypatch
+    ):
+        """Regression: a submit that raises partway through run_batch
+        used to abandon the already-enqueued futures.  They must be
+        cancelled and the caller must get one clean error."""
+        gate = threading.Event()
+        real = solver_mod.ALGORITHMS["pruneddp++"]
+
+        class Gated(real):
+            def run_search(self, context, prepared=None):
+                gate.wait(timeout=10.0)
+                return super().run_search(context, prepared)
+
+        monkeypatch.setitem(solver_mod.ALGORITHMS, "pruneddp++", Gated)
+        executor = QueryExecutor(index, max_workers=1)
+        enqueued = []
+        real_submit = executor.submit
+
+        def flaky_submit(*args, **kwargs):
+            if len(enqueued) == 2:
+                raise MemoryError("injected submit failure")
+            future = real_submit(*args, **kwargs)
+            enqueued.append(future)
+            return future
+
+        monkeypatch.setattr(executor, "submit", flaky_submit)
+        try:
+            with pytest.raises(RuntimeError) as info:
+                executor.run_batch([["q0", "q1"]] * 3)
+            assert "2 of 3" in str(info.value)
+            assert isinstance(info.value.__cause__, MemoryError)
+            # The first future occupies the only worker; the second sat
+            # queued behind it and must have been cancelled, not leaked.
+            assert enqueued[1].cancelled()
+        finally:
+            gate.set()
+            executor.shutdown()
+
+
+class TestOnLimitRaise:
+    def test_raise_mode_error_is_isolated_per_query(self, index):
+        """``on_limit='raise'`` through the service path: the limit
+        error rides the heavy query's outcome; the sibling sharing the
+        same batch budget still solves to optimality."""
+        budget = Budget(max_states=1, on_limit="raise")
+        queries = [
+            ["q0", "q1", "q2", "q3"],  # hundreds of pops: hits the check
+            ["q0", "q1"],              # finishes before the first check
+        ]
+        with QueryExecutor(index, max_workers=2, algorithm="basic") as executor:
+            outcomes = executor.run_batch(queries, budget=budget)
+        heavy, light = outcomes
+        assert not heavy.ok
+        assert isinstance(heavy.error, LimitExceededError)
+        assert heavy.trace.status == "error"
+        assert light.ok and light.result.optimal
+
+
+class TestBatchCancellation:
+    def test_precancelled_batch_returns_cancelled_outcomes(self, index):
+        token = CancellationToken()
+        token.cancel("caller gave up")
+        with QueryExecutor(index, max_workers=2) as executor:
+            outcomes = executor.run_batch([["q0", "q1"]] * 5, cancel_token=token)
+        assert len(outcomes) == 5
+        assert {o.trace.status for o in outcomes} == {"cancelled"}
+        assert all(isinstance(o.error, QueryCancelledError) for o in outcomes)
+        # Nothing was searched: cancellation beat the first pop.
+        assert all(o.result is None for o in outcomes)
+
+    def test_token_on_budget_reaches_submit_path(self, index):
+        token = CancellationToken()
+        with QueryExecutor(index) as executor:
+            outcome = executor.submit(["q0", "q1"], cancel_token=token).result()
+        assert outcome.ok  # never cancelled: the solve ran normally
 
 
 class TestTraceStreaming:

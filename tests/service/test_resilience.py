@@ -1,0 +1,495 @@
+"""The resilience layer's contract under injected faults.
+
+The batch isolation contract, strengthened: under injected hangs,
+crashes and hostile load, ``run_batch`` never raises; cancelled queries
+stop within a bounded number of state pops; degraded outcomes carry a
+feasible tree whose recorded gap respects the rung's epsilon; breakers
+trip after the configured threshold and close again after a successful
+half-open probe — all of it visible in ``QueryTrace`` fields.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+import repro.core.solver as solver_mod
+from repro.core import BasicSolver, PrunedDPPlusPlusSolver
+from repro.core.budget import Budget, CancellationToken
+from repro.errors import (
+    CircuitOpenError,
+    LimitExceededError,
+    QueryCancelledError,
+    QueryRejectedError,
+)
+from repro.graph import generators
+from repro.service import (
+    AdmissionController,
+    AdmissionPolicy,
+    BreakerPolicy,
+    CircuitBreaker,
+    GraphIndex,
+    QueryExecutor,
+    RetryPolicy,
+)
+
+# The engine checks limits (including the cancellation token) every
+# this many pops; the bounded-stop contract is stated in its terms.
+from repro.core.engine import _LIMIT_CHECK_INTERVAL
+
+
+@pytest.fixture
+def graph():
+    return generators.random_graph(
+        60, 130, num_query_labels=6, label_frequency=4, seed=33
+    )
+
+
+@pytest.fixture
+def index(graph):
+    return GraphIndex(graph)
+
+
+@pytest.fixture
+def big_graph():
+    # Big enough that BasicSolver pops thousands of states on a 5-label
+    # query — room for mid-run cancellation to matter.
+    return generators.random_graph(
+        200, 500, num_query_labels=6, label_frequency=5, seed=11
+    )
+
+
+HEAVY = ["q0", "q1", "q2", "q3", "q4"]
+
+
+# ----------------------------------------------------------------------
+# Cooperative cancellation
+# ----------------------------------------------------------------------
+class TestCancellation:
+    def test_precancelled_token_pops_nothing(self, big_graph):
+        token = CancellationToken()
+        token.cancel("pre-cancelled")
+        budget = Budget().with_cancellation(token)
+        result = BasicSolver(big_graph, HEAVY, budget=budget).solve()
+        assert result.stats.cancelled
+        assert result.stats.states_popped == 0
+        assert result.tree is None
+
+    def test_midrun_cancel_stops_within_check_interval(self, big_graph):
+        # Cancel at the first feasible answer: the engine must stop
+        # within one limit-check interval of the cancellation point.
+        clean = BasicSolver(big_graph, HEAVY).solve()
+        assert clean.stats.states_popped > 2 * _LIMIT_CHECK_INTERVAL
+
+        token = CancellationToken()
+
+        def cancel_on_first_best(point):
+            token.cancel("first feasible answer is good enough")
+
+        result = BasicSolver(
+            big_graph,
+            HEAVY,
+            budget=Budget().with_cancellation(token),
+            on_progress=cancel_on_first_best,
+        ).solve()
+        assert result.stats.cancelled
+        # The first progress event fires within the first check interval,
+        # and at most one more interval elapses before the engine stops.
+        assert result.stats.states_popped <= 2 * _LIMIT_CHECK_INTERVAL
+        # The progressive contract: the incumbent is feasible and its
+        # recorded gap is sound.
+        assert result.tree is not None
+        result.tree.validate(big_graph, HEAVY)
+        assert result.weight >= clean.weight
+
+    def test_cancelled_outcome_through_service(self, index):
+        token = CancellationToken()
+        token.cancel("user clicked stop")
+        with QueryExecutor(index, max_workers=2) as executor:
+            outcomes = executor.run_batch([["q0", "q1"]] * 4, cancel_token=token)
+        assert [o.trace.status for o in outcomes] == ["cancelled"] * 4
+        assert all(isinstance(o.error, QueryCancelledError) for o in outcomes)
+        assert all(o.trace.cancelled for o in outcomes)
+        assert all("user clicked stop" in str(o.error) for o in outcomes)
+
+    def test_cancel_mid_batch_never_raises(self, big_graph):
+        index = GraphIndex(big_graph)
+        token = CancellationToken()
+        queries = [HEAVY] * 12
+        with QueryExecutor(index, max_workers=2, algorithm="basic") as executor:
+            futures = [
+                executor.submit(q, query_id=i, cancel_token=token)
+                for i, q in enumerate(queries)
+            ]
+            token.cancel("mid-batch")
+            outcomes = [f.result() for f in futures]
+        assert len(outcomes) == len(queries)
+        # Every outcome is a real outcome; none leaked an exception.
+        assert {o.trace.status for o in outcomes} <= {"ok", "cancelled"}
+        assert "cancelled" in [o.trace.status for o in outcomes]
+
+
+# ----------------------------------------------------------------------
+# Admission control
+# ----------------------------------------------------------------------
+class TestAdmission:
+    def test_estimate_grows_with_k_and_frequency(self, index):
+        controller = AdmissionController(index)
+        two = controller.estimate_states(["q0", "q1"])
+        three = controller.estimate_states(["q0", "q1", "q2"])
+        assert 0 < two < three
+
+    def test_max_k_rejects(self, index):
+        controller = AdmissionController(index, AdmissionPolicy(max_k=2))
+        with pytest.raises(QueryRejectedError) as info:
+            controller.admit(["q0", "q1", "q2"], None)
+        assert info.value.estimated_states > 0
+        assert controller.admit(["q0", "q1"], None) is None  # admitted
+
+    def test_state_ceiling_rejects_with_typed_error(self, index):
+        controller = AdmissionController(
+            index, AdmissionPolicy(max_estimated_states=1)
+        )
+        with pytest.raises(QueryRejectedError) as info:
+            controller.admit(["q0", "q1"], Budget())
+        assert info.value.estimated_states > 1
+
+    def test_deadline_aware_rejection(self, index):
+        # One estimated-second per state and a microscopic deadline:
+        # nothing real fits.
+        controller = AdmissionController(
+            index, AdmissionPolicy(states_per_second=1.0)
+        )
+        budget = Budget().with_deadline(0.001)
+        decision = controller.assess(["q0", "q1", "q2"], budget)
+        assert decision.action == "reject"
+        assert "deadline" in decision.reason
+
+    def test_clamp_action_downbudgets_instead(self, index):
+        controller = AdmissionController(
+            index, AdmissionPolicy(max_estimated_states=5, action="clamp")
+        )
+        decision = controller.assess(["q0", "q1"], Budget())
+        assert decision.action == "clamp"
+        assert decision.budget.max_states == 5
+        assert decision.budget.on_limit == "return"
+
+    def test_rejected_query_is_isolated_in_batch(self, index):
+        with QueryExecutor(
+            index, admission=AdmissionPolicy(max_k=2), max_workers=2
+        ) as executor:
+            outcomes = executor.run_batch([["q0", "q1", "q2"], ["q3", "q4"]])
+        rejected, sibling = outcomes
+        assert rejected.trace.status == "rejected"
+        assert isinstance(rejected.error, QueryRejectedError)
+        assert rejected.trace.admission["action"] == "reject"
+        assert rejected.trace.attempts == 0  # no solver ever ran
+        assert sibling.ok and sibling.result.optimal
+        assert sibling.trace.admission["action"] == "admit"
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionPolicy(max_k=0)
+        with pytest.raises(ValueError):
+            AdmissionPolicy(states_per_second=0.0)
+        with pytest.raises(ValueError):
+            AdmissionPolicy(action="panic")
+
+
+# ----------------------------------------------------------------------
+# Retry with degradation
+# ----------------------------------------------------------------------
+class BoomError(RuntimeError):
+    pass
+
+
+@pytest.fixture
+def broken_top_rung(monkeypatch):
+    """Make the 'pruneddp++' rung raise mid-search; count the attempts."""
+    calls = {"n": 0}
+    real = solver_mod.ALGORITHMS["pruneddp++"]
+
+    class Exploding(real):
+        def run_search(self, context, prepared=None):
+            calls["n"] += 1
+            raise BoomError("injected mid-search crash")
+
+    monkeypatch.setitem(solver_mod.ALGORITHMS, "pruneddp++", Exploding)
+    return calls
+
+
+class TestRetryLadder:
+    def test_degrades_one_rung_and_records_it(self, index, broken_top_rung):
+        with QueryExecutor(
+            index, retry_policy=RetryPolicy(max_retries=2)
+        ) as executor:
+            outcome = executor.run_batch([["q0", "q1"]])[0]
+        assert outcome.ok
+        assert outcome.algorithm == "pruneddp"          # one rung down
+        assert outcome.trace.requested_algorithm == "pruneddp++"
+        assert outcome.trace.degraded
+        assert outcome.trace.attempts == 2
+        assert [r["algorithm"] for r in outcome.trace.retries] == ["pruneddp++"]
+        assert "injected" in outcome.trace.retries[0]["error"]
+        assert broken_top_rung["n"] == 1
+
+    def test_degraded_gap_respects_rung_epsilon(self, index, broken_top_rung):
+        policy = RetryPolicy(max_retries=2, epsilon_ladder=(0.25,))
+        with QueryExecutor(index, retry_policy=policy) as executor:
+            outcome = executor.run_batch([["q0", "q1", "q2"]])[0]
+        assert outcome.ok and outcome.trace.degraded
+        assert outcome.result.tree is not None
+        # The degraded answer's recorded guarantee honors the rung's
+        # epsilon: the gap never exceeds what the rung asked for.
+        assert outcome.result.ratio <= 1.25 + 1e-9
+
+    def test_limit_exceeded_is_retried(self, index, monkeypatch):
+        real = solver_mod.ALGORITHMS["pruneddp++"]
+
+        class LimitBomb(real):
+            def run_search(self, context, prepared=None):
+                raise LimitExceededError("injected pop-limit hit")
+
+        monkeypatch.setitem(solver_mod.ALGORITHMS, "pruneddp++", LimitBomb)
+        with QueryExecutor(
+            index, retry_policy=RetryPolicy(max_retries=1)
+        ) as executor:
+            outcome = executor.run_batch([["q0", "q1"]])[0]
+        assert outcome.ok
+        assert outcome.trace.attempts == 2
+
+    def test_infeasible_is_not_retried(self, index):
+        with QueryExecutor(
+            index, retry_policy=RetryPolicy(max_retries=3)
+        ) as executor:
+            outcome = executor.run_batch([["q0", "no-such-label"]])[0]
+        assert outcome.trace.status == "infeasible"
+        assert outcome.trace.attempts == 1
+        assert outcome.trace.retries == []
+
+    def test_exhausted_retries_fail_cleanly(self, index, monkeypatch):
+        for name in ("pruneddp++", "pruneddp", "basic"):
+            real = solver_mod.ALGORITHMS[name]
+
+            class AlwaysBoom(real):  # noqa: B023 - bound per iteration below
+                def run_search(self, context, prepared=None):
+                    raise BoomError("everything is broken")
+
+            monkeypatch.setitem(solver_mod.ALGORITHMS, name, AlwaysBoom)
+        with QueryExecutor(
+            index, retry_policy=RetryPolicy(max_retries=2)
+        ) as executor:
+            outcome = executor.run_batch([["q0", "q1"]])[0]
+        assert not outcome.ok
+        assert outcome.trace.status == "error"
+        assert outcome.trace.attempts == 3
+        assert len(outcome.trace.retries) == 2
+
+    def test_plain_retry_without_degradation(self, index, broken_top_rung):
+        policy = RetryPolicy(max_retries=2, degrade=False)
+        with QueryExecutor(index, retry_policy=policy) as executor:
+            outcome = executor.run_batch([["q0", "q1"]])[0]
+        # Same (broken) algorithm every time: the query fails, but the
+        # trace shows three faithful attempts at the requested rung.
+        assert not outcome.ok
+        assert outcome.trace.attempts == 3
+        assert broken_top_rung["n"] == 3
+        assert not outcome.trace.degraded
+
+    def test_rung_epsilon_only_grows(self):
+        policy = RetryPolicy(epsilon_ladder=(0.1, 0.25))
+        base = Budget(epsilon=0.5)
+        _, first = policy.rung("pruneddp++", 1, base)
+        assert first.epsilon == 0.5  # never shrinks below the caller's
+
+
+# ----------------------------------------------------------------------
+# Circuit breaking
+# ----------------------------------------------------------------------
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestCircuitBreaker:
+    def test_trips_after_threshold(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            BreakerPolicy(failure_threshold=3, cooldown_seconds=10.0),
+            clock=clock,
+        )
+        assert breaker.state == "closed"
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == "closed" and breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+
+    def test_success_resets_consecutive_failures(self):
+        breaker = CircuitBreaker(BreakerPolicy(failure_threshold=2))
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"  # never two in a row
+
+    def test_half_open_probe_lifecycle(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            BreakerPolicy(failure_threshold=1, cooldown_seconds=5.0),
+            clock=clock,
+        )
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.now = 5.0  # cooldown elapsed
+        assert breaker.state == "half_open"
+        assert breaker.allow()       # the single probe slot
+        assert not breaker.allow()   # concurrent second probe refused
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_half_open_failure_reopens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            BreakerPolicy(failure_threshold=1, cooldown_seconds=5.0),
+            clock=clock,
+        )
+        breaker.record_failure()
+        clock.now = 5.0
+        assert breaker.allow()
+        breaker.record_failure()  # the probe failed
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        clock.now = 9.0  # cooldown restarted at t=5
+        assert breaker.state == "open"
+        clock.now = 10.0
+        assert breaker.state == "half_open"
+
+
+class TestBreakerIntegration:
+    def test_open_breaker_sheds_to_ladder_without_calling_solver(
+        self, index, broken_top_rung
+    ):
+        executor = QueryExecutor(
+            index,
+            max_workers=1,
+            retry_policy=RetryPolicy(max_retries=1),
+            breaker_policy=BreakerPolicy(
+                failure_threshold=2, cooldown_seconds=60.0
+            ),
+        )
+        with executor:
+            # Two queries, each failing once on the top rung: trips it.
+            executor.run_batch([["q0", "q1"]])
+            executor.run_batch([["q2", "q3"]])
+            assert executor.breaker_snapshot()["pruneddp++"]["state"] == "open"
+            calls_before = broken_top_rung["n"]
+            outcome = executor.run_batch([["q4", "q5"]])[0]
+        assert outcome.ok
+        assert outcome.algorithm == "pruneddp"
+        assert outcome.trace.breaker_skips == ["pruneddp++"]
+        assert outcome.trace.degraded
+        # Load was shed: the broken configuration never ran again.
+        assert broken_top_rung["n"] == calls_before
+
+    def test_breaker_recovers_through_half_open(self, index, monkeypatch):
+        real = solver_mod.ALGORITHMS["pruneddp++"]
+        behavior = {"fail": True, "calls": 0}
+
+        class Flaky(real):
+            def run_search(self, context, prepared=None):
+                behavior["calls"] += 1
+                if behavior["fail"]:
+                    raise BoomError("transient outage")
+                return super().run_search(context, prepared)
+
+        monkeypatch.setitem(solver_mod.ALGORITHMS, "pruneddp++", Flaky)
+        executor = QueryExecutor(
+            index,
+            max_workers=1,
+            retry_policy=RetryPolicy(max_retries=1),
+            breaker_policy=BreakerPolicy(
+                failure_threshold=1, cooldown_seconds=0.05
+            ),
+        )
+        with executor:
+            executor.run_batch([["q0", "q1"]])  # trips the breaker
+            assert executor.breaker_snapshot()["pruneddp++"]["state"] == "open"
+            behavior["fail"] = False  # the outage ends
+            time.sleep(0.06)          # cooldown elapses -> half-open
+            outcome = executor.run_batch([["q2", "q3"]])[0]
+            assert outcome.ok
+            assert outcome.algorithm == "pruneddp++"  # probe ran the real rung
+            assert not outcome.trace.degraded
+            assert executor.breaker_snapshot()["pruneddp++"]["state"] == "closed"
+
+    def test_all_rungs_open_fails_fast_with_typed_error(
+        self, index, monkeypatch
+    ):
+        for name in ("pruneddp++", "pruneddp", "basic"):
+            real = solver_mod.ALGORITHMS[name]
+
+            class AlwaysBoom(real):
+                def run_search(self, context, prepared=None):
+                    raise BoomError("systemic outage")
+
+            monkeypatch.setitem(solver_mod.ALGORITHMS, name, AlwaysBoom)
+        executor = QueryExecutor(
+            index,
+            max_workers=1,
+            retry_policy=RetryPolicy(max_retries=2),
+            breaker_policy=BreakerPolicy(
+                failure_threshold=1, cooldown_seconds=60.0
+            ),
+        )
+        with executor:
+            first = executor.run_batch([["q0", "q1"]])[0]  # trips all three
+            assert not first.ok
+            snapshot = executor.breaker_snapshot()
+            assert {snapshot[n]["state"] for n in snapshot} == {"open"}
+            outcome = executor.run_batch([["q2", "q3"]])[0]
+        assert isinstance(outcome.error, CircuitOpenError)
+        assert outcome.trace.status == "error"
+        assert outcome.trace.attempts == 0
+        assert set(outcome.trace.breaker_skips) == {
+            "pruneddp++", "pruneddp", "basic"
+        }
+
+    def test_breaker_not_blamed_for_infeasible_queries(self, index):
+        executor = QueryExecutor(
+            index,
+            breaker_policy=BreakerPolicy(failure_threshold=1),
+        )
+        with executor:
+            executor.run_batch([["ghost"]] * 3)
+            outcome = executor.run_batch([["q0", "q1"]])[0]
+        assert outcome.ok  # infeasible queries never tripped anything
+        snapshot = executor.breaker_snapshot()
+        assert snapshot["pruneddp++"]["state"] == "closed"
+
+
+# ----------------------------------------------------------------------
+# Traces stay JSON-safe with every resilience field populated
+# ----------------------------------------------------------------------
+class TestTraceSerialization:
+    def test_resilience_fields_survive_json(self, index, broken_top_rung):
+        import json
+
+        with QueryExecutor(
+            index,
+            admission=AdmissionPolicy(max_estimated_states=10**12),
+            retry_policy=RetryPolicy(max_retries=2),
+            breaker_policy=BreakerPolicy(failure_threshold=5),
+        ) as executor:
+            outcome = executor.run_batch([["q0", "q1"]])[0]
+        record = json.loads(outcome.trace.to_json())
+        assert record["requested_algorithm"] == "pruneddp++"
+        assert record["attempts"] == 2
+        assert record["degraded"] is True
+        assert record["admission"]["action"] == "admit"
+        assert record["retries"][0]["algorithm"] == "pruneddp++"

@@ -4,16 +4,32 @@ A production library's contract under misuse matters as much as its
 happy path: exceptions raised by *user callbacks* must propagate (not
 be swallowed into wrong answers), hostile strings must not corrupt
 renderings, and adversarial numeric inputs must be rejected at the
-boundary rather than produce garbage later.
+boundary rather than produce garbage later.  The final class injects
+faults *underneath the executor* — solvers that hang, crash mid-pop,
+or fail persistently — and checks that the resilience layer turns each
+into a clean, attributed outcome.
 """
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
+import repro.core.algorithms as algorithms_mod
+import repro.core.solver as solver_mod
 from repro import Graph, GraphError, QueryError, SteinerTree, solve_gst
 from repro.core import BasicSolver, PrunedDPPlusPlusSolver
+from repro.core.budget import CancellationToken
+from repro.core.engine import SearchEngine
+from repro.errors import QueryCancelledError
 from repro.graph import generators
+from repro.service import (
+    BreakerPolicy,
+    GraphIndex,
+    QueryExecutor,
+    RetryPolicy,
+)
 
 
 class CallbackBoom(Exception):
@@ -129,6 +145,112 @@ class TestBoundaryRejection:
         g.add_edge(0, 1, 1.0)
         with pytest.raises(GraphError):
             SteinerTree([(0, 5, 1.0)]).validate(g)
+
+
+class TestExecutorFaultInjection:
+    """Faults injected underneath the executor, one per mechanism."""
+
+    @pytest.fixture
+    def index(self):
+        g = generators.random_graph(
+            60, 130, num_query_labels=6, label_frequency=4, seed=33
+        )
+        return GraphIndex(g)
+
+    def test_hanging_solver_caught_by_cancellation(self, index, monkeypatch):
+        """A solver that wedges forever: cancellation is the only way
+        out, and it must produce a clean "cancelled" outcome."""
+        real = solver_mod.ALGORITHMS["pruneddp++"]
+
+        class Hanging(real):
+            def run_search(self, context, prepared=None):
+                while not self.budget.cancelled():
+                    time.sleep(0.005)
+                # The wedge noticed the token; the engine confirms it.
+                return super().run_search(context, prepared)
+
+        monkeypatch.setitem(solver_mod.ALGORITHMS, "pruneddp++", Hanging)
+        token = CancellationToken()
+        with QueryExecutor(index, max_workers=1) as executor:
+            future = executor.submit(["q0", "q1"], cancel_token=token)
+            time.sleep(0.05)
+            assert not future.done()  # genuinely wedged
+            token.cancel("watchdog timeout")
+            outcome = future.result(timeout=5.0)
+        assert outcome.trace.status == "cancelled"
+        assert outcome.trace.cancelled
+        assert isinstance(outcome.error, QueryCancelledError)
+        assert "watchdog timeout" in str(outcome.error)
+
+    def test_raise_on_nth_pop_caught_by_retry_ladder(self, monkeypatch):
+        """An engine that crashes at its first limit check — hundreds
+        of pops into a real search — is rescued one rung down."""
+        g = generators.random_graph(
+            200, 500, num_query_labels=6, label_frequency=5, seed=11
+        )
+        crashes = {"left": 1}
+
+        class CrashOnNthPop(SearchEngine):
+            def _limits_hit(self):
+                if crashes["left"] > 0:
+                    crashes["left"] -= 1
+                    raise RuntimeError(
+                        f"injected crash at pop {self.stats.states_popped}"
+                    )
+                return super()._limits_hit()
+
+        monkeypatch.setattr(algorithms_mod, "SearchEngine", CrashOnNthPop)
+        with QueryExecutor(
+            GraphIndex(g), retry_policy=RetryPolicy(max_retries=2)
+        ) as executor:
+            outcome = executor.run_batch([[f"q{i}" for i in range(6)]])[0]
+        assert outcome.ok
+        assert outcome.trace.requested_algorithm == "pruneddp++"
+        assert outcome.algorithm == "pruneddp"
+        assert outcome.trace.degraded
+        assert outcome.trace.attempts == 2
+        assert "injected crash at pop" in outcome.trace.retries[0]["error"]
+
+    def test_persistent_failure_trips_breaker_then_recovers(
+        self, index, monkeypatch
+    ):
+        real = solver_mod.ALGORITHMS["pruneddp++"]
+        behavior = {"healthy": False, "calls": 0}
+
+        class Unreliable(real):
+            def run_search(self, context, prepared=None):
+                behavior["calls"] += 1
+                if not behavior["healthy"]:
+                    raise RuntimeError("backend down")
+                return super().run_search(context, prepared)
+
+        monkeypatch.setitem(solver_mod.ALGORITHMS, "pruneddp++", Unreliable)
+        executor = QueryExecutor(
+            index,
+            max_workers=1,
+            retry_policy=RetryPolicy(max_retries=1),
+            breaker_policy=BreakerPolicy(
+                failure_threshold=2, cooldown_seconds=0.05
+            ),
+        )
+        with executor:
+            # Every query is rescued by the ladder while failures mount.
+            for labels in (["q0", "q1"], ["q2", "q3"]):
+                rescued = executor.run_batch([labels])[0]
+                assert rescued.ok and rescued.algorithm == "pruneddp"
+            assert executor.breaker_snapshot()["pruneddp++"]["state"] == "open"
+            # Open breaker: load is shed without touching the backend.
+            calls_before = behavior["calls"]
+            shed = executor.run_batch([["q4", "q5"]])[0]
+            assert shed.ok
+            assert behavior["calls"] == calls_before
+            assert shed.trace.breaker_skips == ["pruneddp++"]
+            # The outage ends; the half-open probe heals the breaker.
+            behavior["healthy"] = True
+            time.sleep(0.06)
+            probe = executor.run_batch([["q0", "q2"]])[0]
+            assert probe.ok and probe.algorithm == "pruneddp++"
+            assert executor.breaker_snapshot()["pruneddp++"]["state"] == "closed"
 
 
 class TestDirectedSerialization:
