@@ -30,6 +30,10 @@ from .errors import (
     QueryRejectedError,
     QueryCancelledError,
     CircuitOpenError,
+    StoreError,
+    StoreCorruptError,
+    StoreVersionError,
+    StoreFingerprintError,
 )
 from .graph import Graph
 from .core import (
@@ -59,6 +63,11 @@ from .service import (
     QueryTrace,
     RetryPolicy,
     TraceSink,
+)
+from .store import (
+    PrecomputeStore,
+    ResultCache,
+    build_store,
 )
 
 __version__ = "1.0.0"
@@ -91,6 +100,13 @@ __all__ = [
     "QueryRejectedError",
     "QueryCancelledError",
     "CircuitOpenError",
+    "StoreError",
+    "StoreCorruptError",
+    "StoreVersionError",
+    "StoreFingerprintError",
+    "PrecomputeStore",
+    "ResultCache",
+    "build_store",
     "CancellationToken",
     "AdmissionController",
     "AdmissionPolicy",

@@ -2,11 +2,18 @@
 
 Commands
 --------
-``solve``     Run a GST query over a graph stored on disk.
-``batch``     Serve a file of queries concurrently over one shared index.
-``generate``  Produce a synthetic dataset (edge/label files).
-``info``      Summarize a stored graph.
-``bench``     Regenerate one of the paper's figures/tables.
+``solve``       Run a GST query over a graph stored on disk.
+``batch``       Serve a file of queries concurrently over one shared index.
+``precompute``  Materialize a persistent precompute store (``repro.store``).
+``generate``    Produce a synthetic dataset (edge/label files).
+``info``        Summarize a stored graph.
+``bench``       Regenerate one of the paper's figures/tables.
+
+``solve`` and ``batch`` accept ``--store PATH`` to warm-start from a
+store built by ``precompute``: per-label distance tables are preloaded
+and the epsilon-aware result cache is consulted/updated.  An unusable
+store (corrupt, version skew, graph fingerprint mismatch) fails closed
+— a warning is printed and the query runs cold.
 
 Graphs on disk use the two-file format of :mod:`repro.graph.io`
 (``<stem>.edges`` + ``<stem>.labels``).  Query files for ``batch`` hold
@@ -24,7 +31,7 @@ from typing import List, Optional
 from .bench import figures
 from .core.solver import ALGORITHMS, solve_gst
 from .core.topr import top_r_trees
-from .errors import ReproError
+from .errors import ReproError, StoreError
 from .graph import generators
 from .graph.io import load_graph, save_graph
 
@@ -69,6 +76,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="emit the answer tree as Graphviz DOT")
     solve.add_argument("--chart", action="store_true",
                        help="draw the UB/LB convergence chart")
+    solve.add_argument("--store", default=None, metavar="PATH",
+                       help="warm-start from a precompute store directory "
+                            "(falls back to cold solve if unusable)")
 
     batch = sub.add_parser(
         "batch",
@@ -107,6 +117,37 @@ def build_parser() -> argparse.ArgumentParser:
                             "exceeds STATES (admission control)")
     batch.add_argument("--quiet", action="store_true",
                        help="print only the summary line")
+    batch.add_argument("--store", default=None, metavar="PATH",
+                       help="warm-start from a precompute store directory; "
+                            "successful answers are persisted back "
+                            "(falls back to cold serving if unusable)")
+
+    pre = sub.add_parser(
+        "precompute",
+        help="materialize a persistent precompute store for a graph",
+    )
+    pre.add_argument("--graph", required=True, help="graph file stem")
+    pre.add_argument("--out", required=True, help="store directory to write")
+    pre.add_argument("--top-k", type=int, default=64,
+                     help="precompute tables for the K hottest labels")
+    pre.add_argument("--labels", default=None,
+                     help="comma-separated labels to precompute "
+                          "(overrides --top-k selection)")
+    pre.add_argument("--queries", default=None,
+                     help="workload file (one comma-separated label set per "
+                          "line) guiding hot-label selection")
+    pre.add_argument("--solve", action="store_true",
+                     help="with --queries: also pre-solve the workload and "
+                          "persist the answers in the result cache")
+    pre.add_argument(
+        "--algorithm",
+        default="pruneddp++",
+        choices=sorted(ALGORITHMS) + ["auto"],
+        help="algorithm tier used with --solve",
+    )
+    pre.add_argument("--epsilon", type=float, default=0.0,
+                     help="with --solve: stop each pre-solved query at a "
+                          "proven (1+eps)-approximation")
 
     gen = sub.add_parser("generate", help="write a synthetic dataset")
     gen.add_argument(
@@ -141,6 +182,35 @@ def build_parser() -> argparse.ArgumentParser:
 # ----------------------------------------------------------------------
 # Command implementations
 # ----------------------------------------------------------------------
+def _index_with_store(graph, store_path: str):
+    """A GraphIndex warm-started from ``store_path`` — or cold.
+
+    The fail-closed contract: any :class:`~repro.errors.StoreError`
+    (corruption, version skew, fingerprint mismatch) prints a warning
+    and returns a cold index, so a bad artifact can never corrupt or
+    block a solve.
+    """
+    from .service import GraphIndex
+
+    index = GraphIndex(graph)
+    try:
+        warmed = index.attach_store(store_path)
+    except StoreError as exc:
+        print(
+            f"warning: precompute store {store_path!r} is unusable ({exc}); "
+            "continuing with a cold index",
+            file=sys.stderr,
+        )
+    else:
+        cached = len(index.result_cache) if index.result_cache is not None else 0
+        print(
+            f"store: warmed {warmed} label tables, {cached} cached answers "
+            f"from {store_path}",
+            file=sys.stderr,
+        )
+    return index
+
+
 def _cmd_solve(args: argparse.Namespace) -> int:
     graph = load_graph(args.graph)
     labels = [token for token in args.labels.split(",") if token]
@@ -184,9 +254,14 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             solver_kwargs["epsilon"] = args.epsilon
         if on_progress is not None:
             solver_kwargs["on_progress"] = on_progress
-    result = solve_gst(
-        graph, labels, algorithm=args.algorithm, **solver_kwargs
-    )
+    if args.store is not None:
+        index = _index_with_store(graph, args.store)
+        result = index.solve(labels, algorithm=args.algorithm, **solver_kwargs)
+        index.save_results()
+    else:
+        result = solve_gst(
+            graph, labels, algorithm=args.algorithm, **solver_kwargs
+        )
     if args.json:
         import json
 
@@ -274,7 +349,10 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         else None
     )
     sink = TraceSink(args.traces) if args.traces else None
-    index = GraphIndex(graph)
+    if args.store is not None:
+        index = _index_with_store(graph, args.store)
+    else:
+        index = GraphIndex(graph)
     started = _time.perf_counter()
     try:
         with QueryExecutor(
@@ -329,7 +407,52 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         )
     if sink is not None:
         print(f"traces: {sink.count} records -> {args.traces}")
+    if args.store is not None and index.store is not None:
+        hits = sum(o.trace.result_cache == "hit" for o in outcomes)
+        saved = index.save_results()
+        print(
+            f"store: {hits} result-cache hits; persisted {saved} answers "
+            f"-> {args.store}"
+        )
     return 0 if ok > 0 else 2
+
+
+def _cmd_precompute(args: argparse.Namespace) -> int:
+    from .store import build_store
+
+    graph = load_graph(args.graph)
+    workload = _read_query_file(args.queries) if args.queries else None
+    if args.solve and workload is None:
+        raise ReproError("--solve requires --queries")
+    labels = None
+    if args.labels is not None:
+        labels = [token for token in args.labels.split(",") if token]
+        if not labels:
+            raise ReproError("--labels given but empty")
+    report = build_store(
+        graph,
+        args.out,
+        top_k=args.top_k,
+        labels=labels,
+        workload=workload,
+        graph_stem=args.graph,
+    )
+    print(report.summary())
+    if args.solve:
+        index = _index_with_store(graph, args.out)
+        solver_kwargs = {"epsilon": args.epsilon} if args.epsilon else {}
+        ok = 0
+        for labels_q in workload:
+            outcome = index.execute(
+                labels_q, algorithm=args.algorithm, **solver_kwargs
+            )
+            ok += outcome.ok
+        saved = index.save_results()
+        print(
+            f"pre-solved {ok}/{len(workload)} workload queries; "
+            f"persisted {saved} answers to the result cache"
+        )
+    return 0
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -404,6 +527,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "solve": _cmd_solve,
     "batch": _cmd_batch,
+    "precompute": _cmd_precompute,
     "generate": _cmd_generate,
     "info": _cmd_info,
     "bench": _cmd_bench,

@@ -33,6 +33,10 @@ equivalents remain accepted and win over the budget's fields):
 ``progressive``
     Set ``False`` to skip per-state feasible-solution construction
     (pure optimal-search mode; used by some ablations).
+``bound_memo_limit``
+    Optional cap on the A* lower-bound memo's ``(node, mask)`` entries
+    (see :class:`~repro.core.bounds.LowerBounds`); evicting is safe —
+    bounds are just re-derived — so long batches can bound memory.
 """
 
 from __future__ import annotations
@@ -91,6 +95,7 @@ class _ProgressiveSolverBase:
         on_event: Optional[Callable[[str, dict], None]] = None,
         progressive: bool = True,
         distance_cache=None,
+        bound_memo_limit: Optional[int] = None,
     ) -> None:
         self.graph = graph
         self.query = _coerce_query(query)
@@ -112,6 +117,9 @@ class _ProgressiveSolverBase:
         self.on_event = on_event
         self.progressive = progressive
         self.distance_cache = distance_cache
+        # Optional bound on the LowerBounds (node, mask) memo so long
+        # batches cannot grow it without limit (None = unbounded).
+        self.bound_memo_limit = bound_memo_limit
         if self.requires_positive_weights and graph.num_edges > 0:
             if graph.min_edge_weight <= 0.0:
                 raise GraphError(
@@ -209,6 +217,7 @@ class PrunedDPPlusSolver(PrunedDPSolver):
             use_one_label=True,
             use_tour1=False,
             use_tour2=False,
+            max_entries=self.bound_memo_limit,
         )
         return bounds, 0.0, 0
 
@@ -252,6 +261,7 @@ class PrunedDPPlusPlusSolver(PrunedDPSolver):
             use_one_label=self.use_one_label,
             use_tour1=self.use_tour1,
             use_tour2=self.use_tour2,
+            max_entries=self.bound_memo_limit,
         )
         extra = routes.build_seconds if routes is not None else 0.0
         entries = routes.num_entries if routes is not None else 0

@@ -48,10 +48,12 @@ class LabelDistanceCache:
         "graph",
         "max_labels",
         "_entries",
+        "_warm",
         "_lock",
         "hits",
         "misses",
         "evictions",
+        "warm_loads",
     )
 
     def __init__(self, graph: Graph, *, max_labels: Optional[int] = None) -> None:
@@ -62,10 +64,14 @@ class LabelDistanceCache:
         self._entries: "OrderedDict[Hashable, Tuple[List[float], List[int]]]" = (
             OrderedDict()
         )
+        # Labels whose arrays came from a persistent store (preload)
+        # rather than a live Dijkstra — telemetry distinguishes them.
+        self._warm: set = set()
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.warm_loads = 0
 
     def distances(self, label: Hashable) -> Tuple[List[float], List[int]]:
         """``(dist, parent)`` arrays for the label's virtual node."""
@@ -90,11 +96,44 @@ class LabelDistanceCache:
                 self._entries.move_to_end(label)
                 return winner
             self._entries[label] = entry
-            if self.max_labels is not None:
-                while len(self._entries) > self.max_labels:
-                    self._entries.popitem(last=False)
-                    self.evictions += 1
+            self._evict_over_bound()
         return entry
+
+    def preload(self, label: Hashable, entry: Tuple[List[float], List[int]]) -> None:
+        """Insert precomputed ``(dist, parent)`` arrays (store warm-load).
+
+        Unlike a miss-driven insert this counts as a ``warm_load``, not
+        a miss, and marks the label *warm* so telemetry can attribute
+        later hits to the store.  The arrays must be sized for this
+        cache's graph; a live entry for the label is kept (it is
+        identical by the immutable-graph contract).
+        """
+        dist, parent = entry
+        if len(dist) != self.graph.num_nodes or len(parent) != self.graph.num_nodes:
+            raise ValueError(
+                f"preloaded arrays for label {label!r} have "
+                f"{len(dist)} nodes; graph has {self.graph.num_nodes}"
+            )
+        with self._lock:
+            if label not in self._entries:
+                self._entries[label] = (dist, parent)
+            self._warm.add(label)
+            self.warm_loads += 1
+            self._evict_over_bound()
+
+    def _evict_over_bound(self) -> None:
+        # Caller holds the lock.
+        if self.max_labels is None:
+            return
+        while len(self._entries) > self.max_labels:
+            evicted, _ = self._entries.popitem(last=False)
+            self._warm.discard(evicted)
+            self.evictions += 1
+
+    def is_warm(self, label: Hashable) -> bool:
+        """Whether the label's cached arrays came from a store."""
+        with self._lock:
+            return label in self._warm and label in self._entries
 
     def counters(self) -> dict:
         """Snapshot of the hit/miss/eviction counters (telemetry)."""
@@ -103,6 +142,8 @@ class LabelDistanceCache:
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "warm_loads": self.warm_loads,
+                "warm_labels": len(self._warm & set(self._entries)),
                 "cached_labels": len(self._entries),
                 "max_labels": self.max_labels,
             }
@@ -119,6 +160,7 @@ class LabelDistanceCache:
         """Drop all cached arrays (call after mutating the graph)."""
         with self._lock:
             self._entries.clear()
+            self._warm.clear()
 
 
 class PreparedGraph:

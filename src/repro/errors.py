@@ -4,9 +4,11 @@ Every error raised by the library derives from :class:`ReproError`, so
 applications can catch a single type at their boundary.  The subclasses
 distinguish the failure modes a Group Steiner Tree (GST) workload can
 hit: malformed graphs, malformed or unsatisfiable queries,
-resource-limit interruptions, and — for the query service's resilience
+resource-limit interruptions, for the query service's resilience
 layer — admission rejections, cooperative cancellations, and open
-circuit breakers.
+circuit breakers — and, for the persistent precompute store
+(:mod:`repro.store`), artifact corruption / version / fingerprint
+failures.
 """
 
 from __future__ import annotations
@@ -22,6 +24,10 @@ __all__ = [
     "QueryRejectedError",
     "QueryCancelledError",
     "CircuitOpenError",
+    "StoreError",
+    "StoreCorruptError",
+    "StoreVersionError",
+    "StoreFingerprintError",
 ]
 
 
@@ -100,4 +106,31 @@ class CircuitOpenError(ReproError):
     configuration down the degradation ladder; when the whole ladder is
     open the query is failed fast with this error instead of burning a
     worker on a doomed attempt.
+    """
+
+
+class StoreError(ReproError):
+    """A persistent precompute store could not be used.
+
+    The umbrella type for every :mod:`repro.store` failure: artifacts
+    fail *closed* — a load problem raises a ``StoreError`` subclass
+    (never a bare ``KeyError``/``EOFError``/``struct.error``) so
+    callers can catch one type and fall back to a cold solve.
+    """
+
+
+class StoreCorruptError(StoreError):
+    """A store file is truncated, checksum-mismatched, or malformed."""
+
+
+class StoreVersionError(StoreError):
+    """A store was written by an incompatible format version."""
+
+
+class StoreFingerprintError(StoreError):
+    """A store's graph fingerprint does not match the live graph.
+
+    Distance tables index nodes by dense id; loading them against a
+    different graph would silently corrupt every answer, so a
+    fingerprint mismatch always rejects the whole store.
     """

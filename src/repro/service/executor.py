@@ -202,23 +202,41 @@ class QueryExecutor:
         query_id,
         solver_kwargs: dict,
     ) -> QueryOutcome:
-        if self._pipeline.is_noop:
-            outcome = self.index.execute(
+        # Result cache first, *before* admission control: a stored
+        # answer whose proven epsilon satisfies this request costs
+        # nothing to serve, so it must not be rejected, retried, or
+        # counted against any breaker.  execute() is told to skip its
+        # own lookup (the miss was already counted here); it still
+        # writes successful outcomes back.
+        outcome: Optional[QueryOutcome] = None
+        if self.index.result_cache is not None:
+            outcome = self.index.cached_outcome(
                 labels,
                 algorithm=algorithm,
                 budget=budget,
+                epsilon=solver_kwargs.get("epsilon"),
                 query_id=query_id,
-                **solver_kwargs,
             )
-        else:
-            outcome = self._pipeline.run(
-                self.index,
-                labels,
-                algorithm=algorithm,
-                budget=budget,
-                query_id=query_id,
-                **solver_kwargs,
-            )
+        if outcome is None:
+            if self._pipeline.is_noop:
+                outcome = self.index.execute(
+                    labels,
+                    algorithm=algorithm,
+                    budget=budget,
+                    query_id=query_id,
+                    use_result_cache=False,
+                    **solver_kwargs,
+                )
+            else:
+                outcome = self._pipeline.run(
+                    self.index,
+                    labels,
+                    algorithm=algorithm,
+                    budget=budget,
+                    query_id=query_id,
+                    use_result_cache=False,
+                    **solver_kwargs,
+                )
         if self.trace_sink is not None:
             self.trace_sink.write(outcome.trace)
         return outcome

@@ -41,6 +41,7 @@ from ..errors import (
     LimitExceededError,
     QueryCancelledError,
     ReproError,
+    StoreError,
 )
 from ..graph.components import component_ids as _component_ids
 from ..graph.graph import Graph
@@ -107,6 +108,11 @@ class GraphIndex:
         self._lock = threading.Lock()
         self._component_ids: Optional[List[int]] = None
         self._label_components: Dict[Hashable, frozenset] = {}
+        # Persistent-store attachment (see repro.store / attach_store).
+        self.store = None
+        self.result_cache = None
+        self.warm_loaded = 0
+        self._fingerprint: Optional[str] = None
         self.build_seconds = time.perf_counter() - started
 
     @classmethod
@@ -115,6 +121,151 @@ class GraphIndex:
         if isinstance(graph_or_index, GraphIndex):
             return graph_or_index
         return cls(graph_or_index)
+
+    # ------------------------------------------------------------------
+    # Persistent precompute store (repro.store)
+    # ------------------------------------------------------------------
+    @property
+    def fingerprint(self) -> str:
+        """The graph's structural fingerprint (computed once, cached)."""
+        with self._lock:
+            if self._fingerprint is None:
+                from ..store.manifest import graph_fingerprint
+
+                self._fingerprint = graph_fingerprint(self.graph)
+            return self._fingerprint
+
+    def attach_store(
+        self,
+        store,
+        *,
+        warm: bool = True,
+        warm_labels: Optional[Iterable[Hashable]] = None,
+        load_results: bool = True,
+        **result_cache_kwargs,
+    ) -> int:
+        """Bind a :class:`~repro.store.PrecomputeStore` to this index.
+
+        Verifies the store's graph fingerprint (raising a typed
+        :class:`~repro.errors.StoreError` on mismatch — fail closed),
+        warm-loads the label-Dijkstra cache from the stored distance
+        tables (``warm_labels`` restricts which; default all), and
+        loads the persisted epsilon-aware result cache.  Returns the
+        number of label tables preloaded.  Store provenance is recorded
+        on the index (``store``, ``warm_loaded``) and shows up in
+        :meth:`cache_info` and every :class:`QueryTrace`.
+        """
+        from ..store.store import PrecomputeStore
+
+        if isinstance(store, str):
+            store = PrecomputeStore.open(store, self.graph)
+        else:
+            store.check_graph(self.graph)
+        loaded = 0
+        if warm:
+            loaded = store.warm(self.cache, labels=warm_labels)
+        result_cache = (
+            store.load_result_cache(**result_cache_kwargs)
+            if load_results
+            else None
+        )
+        with self._lock:
+            self.store = store
+            self.warm_loaded = loaded
+            if result_cache is not None:
+                self.result_cache = result_cache
+        return loaded
+
+    @classmethod
+    def open(cls, path: str, graph: Optional[Graph] = None, **index_kwargs) -> "GraphIndex":
+        """Open a store directory as a ready-warmed index.
+
+        With no ``graph``, the graph is reloaded from the
+        ``graph_stem`` the builder recorded in the manifest (a missing
+        stem fails closed with :class:`~repro.errors.StoreError`).
+        Either way the fingerprint must match before any artifact is
+        trusted.
+        """
+        from ..graph.io import load_graph
+        from ..store.store import PrecomputeStore
+
+        store = PrecomputeStore.open(path, graph)
+        if graph is None:
+            stem = store.manifest.graph_stem
+            if not stem:
+                raise StoreError(
+                    f"store {path!r} records no graph_stem; pass the graph "
+                    "explicitly: GraphIndex.open(path, graph)"
+                )
+            try:
+                graph = load_graph(stem)
+            except Exception as exc:
+                raise StoreError(
+                    f"store {path!r}: cannot reload graph from stem "
+                    f"{stem!r}: {exc}"
+                ) from None
+            store.check_graph(graph)
+        index = cls(graph, **index_kwargs)
+        index.attach_store(store)
+        return index
+
+    def save_results(self) -> int:
+        """Persist the live result cache back to the attached store."""
+        if self.store is None or self.result_cache is None:
+            return 0
+        return self.store.save_result_cache(self.result_cache)
+
+    def cached_outcome(
+        self,
+        labels: Iterable[Hashable],
+        *,
+        algorithm: str = "pruneddp++",
+        budget: Optional[Budget] = None,
+        epsilon: Optional[float] = None,
+        query_id: Optional[Union[int, str]] = None,
+    ) -> Optional["QueryOutcome"]:
+        """A :class:`QueryOutcome` served from the result cache, or None.
+
+        The epsilon-aware reuse rule: a cached answer proven within
+        ``(1+ε)`` serves this request only when the requested
+        ``ε' ≥ ε`` (same label set, same resolved algorithm tier).
+        Never raises — any resolution error means "no cached answer"
+        and the caller runs the normal path.
+        """
+        if self.result_cache is None:
+            return None
+        labels = tuple(labels)
+        started = time.perf_counter()
+        try:
+            key = self.resolve_algorithm(algorithm, labels)
+        except ValueError:
+            return None
+        if epsilon is None:
+            epsilon = budget.epsilon if budget is not None else 0.0
+        entry = self.result_cache.lookup(labels, key, epsilon)
+        if entry is None:
+            return None
+        result = entry.to_result(labels)
+        trace = QueryTrace(
+            query_id=query_id,
+            labels=labels,
+            algorithm=key,
+            index_build_seconds=self.build_seconds,
+            store_hit=True,
+            result_cache="hit",
+        )
+        trace.weight = result.weight
+        trace.optimal = result.optimal
+        trace.ratio = result.ratio
+        trace.wall_seconds = time.perf_counter() - started
+        return QueryOutcome(
+            query_id=query_id,
+            labels=labels,
+            algorithm=key,
+            result=result,
+            error=None,
+            trace=trace,
+        )
 
     # ------------------------------------------------------------------
     # Graph / label statistics
@@ -135,8 +286,29 @@ class GraphIndex:
         return self.graph.label_frequency(label)
 
     def cache_info(self) -> dict:
-        """Hit/miss/eviction counters of the shared label cache."""
-        return self.cache.counters()
+        """Hit/miss/eviction counters of the shared label cache.
+
+        Flat label-cache counters (``hits``/``misses``/``evictions``/
+        ``warm_loads``/...) plus, when a store is attached, its
+        provenance under ``"store"`` and the result cache's counters
+        under ``"result_cache"`` — so warm-load effectiveness is
+        observable, not just cache size.
+        """
+        info = self.cache.counters()
+        info["store"] = (
+            {
+                "path": self.store.path,
+                "fingerprint": self.store.manifest.fingerprint,
+                "stored_labels": len(self.store.manifest.labels),
+                "warm_loaded": self.warm_loaded,
+            }
+            if self.store is not None
+            else None
+        )
+        info["result_cache"] = (
+            self.result_cache.counters() if self.result_cache is not None else None
+        )
+        return info
 
     # ------------------------------------------------------------------
     # Component decomposition (built once, lazily)
@@ -236,6 +408,7 @@ class GraphIndex:
         algorithm: str = "pruneddp++",
         budget: Optional[Budget] = None,
         query_id: Optional[Union[int, str]] = None,
+        use_result_cache: bool = True,
         **solver_kwargs,
     ) -> QueryOutcome:
         """Run one query, capturing errors and per-stage telemetry.
@@ -243,8 +416,23 @@ class GraphIndex:
         Never raises: infeasible queries, expired deadlines and solver
         errors all come back as a :class:`QueryOutcome` whose ``error``
         field holds the exception (``result`` is then ``None``).
+
+        When a store's result cache is attached it is consulted first
+        (``use_result_cache=False`` skips the check — the executor sets
+        this after doing its own pre-admission lookup) and successful
+        outcomes are written back.
         """
         labels = tuple(labels)
+        if use_result_cache and self.result_cache is not None:
+            cached = self.cached_outcome(
+                labels,
+                algorithm=algorithm,
+                budget=budget,
+                epsilon=solver_kwargs.get("epsilon"),
+                query_id=query_id,
+            )
+            if cached is not None:
+                return cached
         wall_started = time.perf_counter()
         trace = QueryTrace(
             query_id=query_id,
@@ -279,8 +467,15 @@ class GraphIndex:
                     + (f": {reason}" if reason else "")
                 )
             solver_cls = ALGORITHMS[key]
-            trace.cache_hits = sum(1 for label in set(labels) if label in self.cache)
-            trace.cache_misses = len(set(labels)) - trace.cache_hits
+            distinct = set(labels)
+            trace.cache_hits = sum(1 for label in distinct if label in self.cache)
+            trace.cache_misses = len(distinct) - trace.cache_hits
+            trace.warm_labels = sum(
+                1 for label in distinct if self.cache.is_warm(label)
+            )
+            trace.store_hit = trace.warm_labels > 0
+            if self.result_cache is not None:
+                trace.result_cache = "miss"
             solver = solver_cls(
                 self.graph,
                 labels,
@@ -324,6 +519,13 @@ class GraphIndex:
             trace.optimal = result.optimal
             trace.ratio = result.ratio
             trace.stats = result.stats.to_dict()
+            if prepared is not None and prepared[0] is not None:
+                trace.bounds_cache = prepared[0].cache_info()
+            if self.result_cache is not None and trace.status == "ok":
+                # Write back: later requests with the same label set,
+                # tier, and an epsilon no tighter than what this run
+                # proved are served straight from the cache.
+                self.result_cache.put(labels, key, result)
         except InfeasibleQueryError as exc:
             trace.status = "infeasible"
             trace.error = str(exc)

@@ -74,6 +74,16 @@ class QueryTrace:
     index_build_seconds: float = 0.0
     error: Optional[str] = None
     events: List[Dict[str, Any]] = field(default_factory=list)
+    # Persistent-store fields (see repro.store): ``store_hit`` is True
+    # when the answer or any label table came from an attached store,
+    # ``warm_labels`` counts query labels served from store-preloaded
+    # distance tables, ``result_cache`` is "hit"/"miss" when a result
+    # cache was consulted (None otherwise), and ``bounds_cache`` holds
+    # the A* lower-bound memo's size/hit/miss counters.
+    store_hit: bool = False
+    warm_labels: int = 0
+    result_cache: Optional[str] = None
+    bounds_cache: Optional[Dict[str, Any]] = None
     # Resilience-layer fields (filled in by the executor's pipeline).
     requested_algorithm: Optional[str] = None
     attempts: int = 1
@@ -108,6 +118,10 @@ class QueryTrace:
             "stats": self.stats,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "store_hit": self.store_hit,
+            "warm_labels": self.warm_labels,
+            "result_cache": self.result_cache,
+            "bounds_cache": self.bounds_cache,
             "index_build_seconds": self.index_build_seconds,
             "error": self.error,
             "events": [

@@ -1,0 +1,162 @@
+"""The on-disk container format of the precompute store.
+
+One store file is a sequence of CRC-framed records behind a fixed
+header::
+
+    header : MAGIC (8 bytes) | format_version (u32, little-endian)
+    record : payload_len (u32) | crc32 (u32) | payload bytes
+
+Readers fail *closed*: a wrong magic, an unknown version, a short read,
+or a checksum mismatch raises a typed
+:class:`~repro.errors.StoreError` subclass — never a bare
+``EOFError``/``struct.error`` — so callers can always fall back to a
+cold solve.  The framing is deliberately dumb (no seeking, no index):
+stores are written once by the offline builder and streamed fully at
+warm-load time, which keeps the reader ~30 lines and the corruption
+surface testable.
+
+Two payload encodings ride the same frames:
+
+* **label distance tables** (:func:`pack_label_table`): the label as
+  UTF-8, then ``n`` float64 distances and ``n`` int32 parent pointers —
+  the exact ``(dist, parent)`` arrays
+  :class:`~repro.core.cache.LabelDistanceCache` holds in memory;
+* **JSON records** (:func:`pack_json`): result-cache entries and any
+  future sidecar metadata.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from typing import Any, BinaryIO, Iterator, List, Tuple
+
+from ..errors import StoreCorruptError, StoreVersionError
+
+__all__ = [
+    "MAGIC",
+    "FORMAT_VERSION",
+    "write_header",
+    "read_header",
+    "write_record",
+    "iter_records",
+    "pack_label_table",
+    "unpack_label_table",
+    "pack_json",
+    "unpack_json",
+]
+
+MAGIC = b"GSTSTORE"
+FORMAT_VERSION = 1
+
+_HEADER = struct.Struct("<8sI")
+_FRAME = struct.Struct("<II")
+# Distances can be +inf (unreachable nodes); float64 round-trips them.
+_F64 = struct.Struct("<d")
+_I32 = struct.Struct("<i")
+
+
+# ----------------------------------------------------------------------
+# Header
+# ----------------------------------------------------------------------
+def write_header(fh: BinaryIO, version: int = FORMAT_VERSION) -> None:
+    fh.write(_HEADER.pack(MAGIC, version))
+
+
+def read_header(fh: BinaryIO, *, what: str = "store file") -> int:
+    """Validate magic + version; returns the file's format version."""
+    raw = fh.read(_HEADER.size)
+    if len(raw) < _HEADER.size:
+        raise StoreCorruptError(f"{what}: truncated header ({len(raw)} bytes)")
+    magic, version = _HEADER.unpack(raw)
+    if magic != MAGIC:
+        raise StoreCorruptError(f"{what}: bad magic {magic!r}")
+    if version != FORMAT_VERSION:
+        raise StoreVersionError(
+            f"{what}: format version {version} is not supported "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    return version
+
+
+# ----------------------------------------------------------------------
+# Frames
+# ----------------------------------------------------------------------
+def write_record(fh: BinaryIO, payload: bytes) -> int:
+    """Append one CRC-framed record; returns bytes written."""
+    fh.write(_FRAME.pack(len(payload), zlib.crc32(payload) & 0xFFFFFFFF))
+    fh.write(payload)
+    return _FRAME.size + len(payload)
+
+
+def iter_records(fh: BinaryIO, *, what: str = "store file") -> Iterator[bytes]:
+    """Yield record payloads until EOF, checking length and CRC."""
+    while True:
+        frame = fh.read(_FRAME.size)
+        if not frame:
+            return
+        if len(frame) < _FRAME.size:
+            raise StoreCorruptError(f"{what}: truncated record frame")
+        length, crc = _FRAME.unpack(frame)
+        payload = fh.read(length)
+        if len(payload) < length:
+            raise StoreCorruptError(
+                f"{what}: truncated record payload "
+                f"({len(payload)} of {length} bytes)"
+            )
+        if (zlib.crc32(payload) & 0xFFFFFFFF) != crc:
+            raise StoreCorruptError(f"{what}: record checksum mismatch")
+        yield payload
+
+
+# ----------------------------------------------------------------------
+# Label distance-table payloads
+# ----------------------------------------------------------------------
+def pack_label_table(
+    label: str, dist: List[float], parent: List[int]
+) -> bytes:
+    """Encode one per-label ``(dist, parent)`` pair."""
+    if len(dist) != len(parent):
+        raise ValueError("dist and parent arrays must have equal length")
+    encoded = str(label).encode("utf-8")
+    parts = [struct.pack("<HI", len(encoded), len(dist)), encoded]
+    parts.append(struct.pack(f"<{len(dist)}d", *dist))
+    parts.append(struct.pack(f"<{len(parent)}i", *parent))
+    return b"".join(parts)
+
+
+def unpack_label_table(
+    payload: bytes, *, what: str = "store file"
+) -> Tuple[str, List[float], List[int]]:
+    """Decode a :func:`pack_label_table` payload (fail-closed)."""
+    try:
+        label_len, n = struct.unpack_from("<HI", payload, 0)
+        offset = struct.calcsize("<HI")
+        label = payload[offset:offset + label_len].decode("utf-8")
+        offset += label_len
+        dist = list(struct.unpack_from(f"<{n}d", payload, offset))
+        offset += n * _F64.size
+        parent = list(struct.unpack_from(f"<{n}i", payload, offset))
+        offset += n * _I32.size
+    except (struct.error, UnicodeDecodeError) as exc:
+        raise StoreCorruptError(f"{what}: malformed label table: {exc}") from None
+    if offset != len(payload):
+        raise StoreCorruptError(
+            f"{what}: label table has {len(payload) - offset} trailing bytes"
+        )
+    return label, dist, parent
+
+
+# ----------------------------------------------------------------------
+# JSON payloads (result-cache entries, sidecar metadata)
+# ----------------------------------------------------------------------
+def pack_json(record: Any) -> bytes:
+    return json.dumps(record, sort_keys=True).encode("utf-8")
+
+
+def unpack_json(payload: bytes, *, what: str = "store file") -> Any:
+    try:
+        return json.loads(payload.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise StoreCorruptError(f"{what}: malformed JSON record: {exc}") from None

@@ -1,0 +1,154 @@
+"""Store manifest: graph fingerprint + artifact table of contents.
+
+The manifest is the store's trust anchor.  Distance tables index nodes
+by dense integer id, so loading them against any *other* graph — one
+more node, one reweighted edge, one moved label — would silently
+corrupt every downstream bound and answer.  :func:`graph_fingerprint`
+therefore hashes the full structure (node count, every edge with its
+weight, every node's label set), and every load path compares the
+stored fingerprint against the live graph before a single array is
+trusted.
+
+The manifest itself is human-readable JSON (`manifest.json`) so
+operators can inspect what a store holds; all validation failures
+raise typed :class:`~repro.errors.StoreError` subclasses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import StoreCorruptError, StoreVersionError
+from ..graph.graph import Graph
+from .format import FORMAT_VERSION
+
+__all__ = ["graph_fingerprint", "Manifest", "MANIFEST_NAME"]
+
+MANIFEST_NAME = "manifest.json"
+
+
+def graph_fingerprint(graph: Graph) -> str:
+    """Deterministic sha256 over the graph's full structure.
+
+    Covers node count, every edge ``(u, v, weight)`` (normalized
+    ``u < v``, sorted), and every node's sorted label set — the three
+    things the stored arrays depend on.  ``repr`` of the weight keeps
+    the hash exact (no float formatting loss).
+    """
+    digest = hashlib.sha256()
+    digest.update(f"n={graph.num_nodes};m={graph.num_edges};".encode())
+    for u, v, weight in sorted(graph.edges()):
+        digest.update(f"e={u},{v},{weight!r};".encode())
+    for node in graph.nodes():
+        labels = sorted(str(label) for label in graph.labels_of(node))
+        if labels:
+            digest.update(f"l={node}:{','.join(labels)};".encode())
+    return digest.hexdigest()
+
+
+@dataclass
+class Manifest:
+    """What one store directory contains, and for which graph."""
+
+    fingerprint: str
+    num_nodes: int
+    num_edges: int
+    num_labels: int
+    labels: List[str] = field(default_factory=list)
+    label_frequencies: Dict[str, int] = field(default_factory=dict)
+    format_version: int = FORMAT_VERSION
+    graph_stem: Optional[str] = None
+    created_by: str = "repro.store"
+
+    REQUIRED = ("fingerprint", "num_nodes", "num_edges", "num_labels",
+                "format_version")
+
+    @classmethod
+    def for_graph(
+        cls,
+        graph: Graph,
+        labels: List[str],
+        *,
+        graph_stem: Optional[str] = None,
+    ) -> "Manifest":
+        return cls(
+            fingerprint=graph_fingerprint(graph),
+            num_nodes=graph.num_nodes,
+            num_edges=graph.num_edges,
+            num_labels=graph.num_labels,
+            labels=list(labels),
+            label_frequencies={
+                label: graph.label_frequency(label) for label in labels
+            },
+            graph_stem=graph_stem,
+        )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "format_version": self.format_version,
+            "fingerprint": self.fingerprint,
+            "num_nodes": self.num_nodes,
+            "num_edges": self.num_edges,
+            "num_labels": self.num_labels,
+            "labels": list(self.labels),
+            "label_frequencies": dict(self.label_frequencies),
+            "graph_stem": self.graph_stem,
+            "created_by": self.created_by,
+        }
+
+    def save(self, directory: str) -> str:
+        path = os.path.join(directory, MANIFEST_NAME)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return path
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, directory: str) -> "Manifest":
+        """Read and validate ``manifest.json`` (fail-closed)."""
+        path = os.path.join(directory, MANIFEST_NAME)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                raw = json.load(handle)
+        except OSError as exc:
+            raise StoreCorruptError(f"cannot read store manifest: {exc}") from None
+        except ValueError as exc:
+            raise StoreCorruptError(f"{path}: malformed manifest JSON: {exc}") from None
+        if not isinstance(raw, dict):
+            raise StoreCorruptError(f"{path}: manifest is not a JSON object")
+        missing = [key for key in cls.REQUIRED if key not in raw]
+        if missing:
+            raise StoreCorruptError(
+                f"{path}: manifest missing required keys {missing}"
+            )
+        version = raw["format_version"]
+        if version != FORMAT_VERSION:
+            raise StoreVersionError(
+                f"{path}: store format version {version} is not supported "
+                f"(this build reads version {FORMAT_VERSION})"
+            )
+        try:
+            return cls(
+                fingerprint=str(raw["fingerprint"]),
+                num_nodes=int(raw["num_nodes"]),
+                num_edges=int(raw["num_edges"]),
+                num_labels=int(raw["num_labels"]),
+                labels=[str(label) for label in raw.get("labels", [])],
+                label_frequencies={
+                    str(k): int(v)
+                    for k, v in raw.get("label_frequencies", {}).items()
+                },
+                format_version=int(version),
+                graph_stem=raw.get("graph_stem"),
+                created_by=str(raw.get("created_by", "repro.store")),
+            )
+        except (TypeError, ValueError) as exc:
+            raise StoreCorruptError(
+                f"{path}: manifest field has wrong type: {exc}"
+            ) from None

@@ -1,0 +1,302 @@
+"""Epsilon-aware query result cache (in-memory + persistable).
+
+The progressive framework's proven ratios make cached answers
+*reusable across quality targets*: an answer proven within
+``(1 + ε)`` of optimal satisfies every later request that asks for
+``ε' ≥ ε`` — an exact answer (ε = 0) serves everything, while a loose
+ε = 0.5 answer must never serve an ε' = 0.1 or exact request.  That
+asymmetric rule is the whole point of this cache; a plain
+equality-keyed cache would either miss safe reuse or, worse, return
+under-proven answers.
+
+Canonical key: ``frozenset(str(label) ...)`` + the resolved algorithm
+tier.  Labels are stringified so persisted entries (JSON) and live
+entries share one key space; algorithm tiers never cross-serve (a
+``basic`` answer proving ε = 0.3 is still a different object of study
+than a ``pruneddp++`` one in every benchmark, and tiers may diverge in
+tie-breaking).
+
+Eviction is LRU bounded by ``max_entries`` plus optional wall-clock
+TTL; both the clock and all counters are injectable/observable for
+tests and telemetry.  Persistence uses the store's CRC-framed format —
+see :meth:`ResultCache.save_to` / :meth:`ResultCache.load_from`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import BinaryIO, Callable, FrozenSet, Hashable, Iterable, List, Optional, Tuple
+
+from ..core.result import GSTResult, SearchStats
+from ..core.tree import SteinerTree
+from ..errors import StoreCorruptError
+from .format import (
+    iter_records,
+    pack_json,
+    read_header,
+    unpack_json,
+    write_header,
+    write_record,
+)
+
+__all__ = ["CachedAnswer", "ResultCache", "result_key"]
+
+INF = float("inf")
+_EPS_SLACK = 1e-12
+
+
+def result_key(
+    labels: Iterable[Hashable], algorithm: str
+) -> Tuple[FrozenSet[str], str]:
+    """Canonical cache key: stringified label set + algorithm tier."""
+    return frozenset(str(label) for label in labels), algorithm
+
+
+@dataclass
+class CachedAnswer:
+    """One stored answer with its proven approximation guarantee.
+
+    ``epsilon`` is the *proven* gap: 0.0 for optimal answers, otherwise
+    ``ratio - 1`` at the time the answer was produced.  ``serves(eps)``
+    implements the reuse rule.
+    """
+
+    labels: Tuple[str, ...]
+    algorithm: str
+    weight: float
+    lower_bound: float
+    optimal: bool
+    epsilon: float
+    tree_nodes: Tuple[int, ...]
+    tree_edges: Tuple[Tuple[int, int, float], ...]
+    created: float
+
+    def serves(self, requested_epsilon: float) -> bool:
+        """Whether this answer's proven gap satisfies ``ε'`` requests."""
+        return self.epsilon <= requested_epsilon + _EPS_SLACK
+
+    # ------------------------------------------------------------------
+    def to_result(self, requested_labels: Iterable[Hashable]) -> GSTResult:
+        """Rehydrate a :class:`GSTResult` (zeroed search counters)."""
+        tree = SteinerTree(self.tree_edges, nodes=self.tree_nodes)
+        return GSTResult(
+            algorithm=self.algorithm,
+            labels=tuple(requested_labels),
+            tree=tree,
+            weight=self.weight,
+            lower_bound=self.lower_bound,
+            optimal=self.optimal,
+            stats=SearchStats(),
+        )
+
+    def to_record(self) -> dict:
+        return {
+            "labels": sorted(self.labels),
+            "algorithm": self.algorithm,
+            "weight": self.weight,
+            "lower_bound": self.lower_bound,
+            "optimal": self.optimal,
+            "epsilon": self.epsilon,
+            "tree_nodes": sorted(self.tree_nodes),
+            "tree_edges": [[u, v, w] for u, v, w in self.tree_edges],
+            "created": self.created,
+        }
+
+    @classmethod
+    def from_record(cls, record: dict, *, what: str = "result cache") -> "CachedAnswer":
+        try:
+            return cls(
+                labels=tuple(str(label) for label in record["labels"]),
+                algorithm=str(record["algorithm"]),
+                weight=float(record["weight"]),
+                lower_bound=float(record["lower_bound"]),
+                optimal=bool(record["optimal"]),
+                epsilon=float(record["epsilon"]),
+                tree_nodes=tuple(int(n) for n in record["tree_nodes"]),
+                tree_edges=tuple(
+                    (int(u), int(v), float(w)) for u, v, w in record["tree_edges"]
+                ),
+                created=float(record["created"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise StoreCorruptError(
+                f"{what}: malformed cached-answer record: {exc!r}"
+            ) from None
+
+
+class ResultCache:
+    """LRU + TTL cache of proven answers, keyed by label set and tier."""
+
+    def __init__(
+        self,
+        *,
+        max_entries: int = 1024,
+        ttl_seconds: Optional[float] = None,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ValueError("ttl_seconds must be positive (or None)")
+        self.max_entries = max_entries
+        self.ttl_seconds = ttl_seconds
+        self._clock = clock
+        self._entries: "OrderedDict[Tuple[FrozenSet[str], str], CachedAnswer]" = (
+            OrderedDict()
+        )
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.expirations = 0
+
+    # ------------------------------------------------------------------
+    def lookup(
+        self,
+        labels: Iterable[Hashable],
+        algorithm: str,
+        epsilon: float = 0.0,
+    ) -> Optional[CachedAnswer]:
+        """An answer proven at least as tight as ``epsilon``, or None.
+
+        A hit refreshes LRU recency; a TTL-expired entry is dropped and
+        counted as a miss.  An entry whose proven gap is looser than
+        the request is a miss too (it stays cached for looser callers).
+        """
+        key = result_key(labels, algorithm)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and self._expired(entry):
+                del self._entries[key]
+                self.expirations += 1
+                entry = None
+            if entry is None or not entry.serves(epsilon):
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def put(
+        self,
+        labels: Iterable[Hashable],
+        algorithm: str,
+        result: GSTResult,
+    ) -> Optional[CachedAnswer]:
+        """Store a finished solve's answer; returns the cached entry.
+
+        Only storable answers are kept: a feasible tree with a finite
+        weight and a finite proven ratio.  An existing entry is only
+        replaced by a *tighter* one (smaller proven ε) — caching a
+        loose anytime answer never degrades an exact one already held.
+        """
+        if result.tree is None or result.weight == INF:
+            return None
+        epsilon = 0.0 if result.optimal else result.ratio - 1.0
+        if epsilon == INF:
+            return None
+        entry = CachedAnswer(
+            labels=tuple(sorted(str(label) for label in labels)),
+            algorithm=algorithm,
+            weight=result.weight,
+            lower_bound=result.lower_bound,
+            optimal=result.optimal,
+            epsilon=epsilon,
+            tree_nodes=tuple(result.tree.nodes),
+            tree_edges=tuple(result.tree.edges),
+            created=self._clock(),
+        )
+        key = result_key(labels, algorithm)
+        with self._lock:
+            existing = self._entries.get(key)
+            if (
+                existing is not None
+                and not self._expired(existing)
+                and existing.epsilon <= entry.epsilon
+            ):
+                self._entries.move_to_end(key)
+                return existing
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+        return entry
+
+    def _expired(self, entry: CachedAnswer) -> bool:
+        return (
+            self.ttl_seconds is not None
+            and self._clock() - entry.created > self.ttl_seconds
+        )
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Tuple[FrozenSet[str], str]) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def counters(self) -> dict:
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "expirations": self.expirations,
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "ttl_seconds": self.ttl_seconds,
+            }
+
+    def entries(self) -> List[CachedAnswer]:
+        """Snapshot of the live entries, LRU-oldest first."""
+        with self._lock:
+            return list(self._entries.values())
+
+    # ------------------------------------------------------------------
+    # Persistence (CRC-framed JSON records)
+    # ------------------------------------------------------------------
+    def save_to(self, fh: BinaryIO) -> int:
+        """Write every live entry; returns the number written."""
+        write_header(fh)
+        count = 0
+        for entry in self.entries():
+            write_record(fh, pack_json(entry.to_record()))
+            count += 1
+        return count
+
+    def load_from(self, fh: BinaryIO, *, what: str = "result cache") -> int:
+        """Merge persisted entries into this cache; returns the count.
+
+        TTL-expired persisted entries are skipped (counted as
+        expirations); fresher live entries win over persisted ones.
+        """
+        read_header(fh, what=what)
+        count = 0
+        for payload in iter_records(fh, what=what):
+            entry = CachedAnswer.from_record(
+                unpack_json(payload, what=what), what=what
+            )
+            if self._expired(entry):
+                self.expirations += 1
+                continue
+            key = result_key(entry.labels, entry.algorithm)
+            with self._lock:
+                existing = self._entries.get(key)
+                if existing is not None and existing.epsilon <= entry.epsilon:
+                    continue
+                self._entries[key] = entry
+                while len(self._entries) > self.max_entries:
+                    self._entries.popitem(last=False)
+                    self.evictions += 1
+            count += 1
+        return count

@@ -1,0 +1,175 @@
+"""The store handle: open, validate, warm-load, write back.
+
+A :class:`PrecomputeStore` is one store *directory* (manifest +
+distance tables + persisted result cache) bound to one immutable
+graph.  Opening validates the manifest and — when a graph is supplied
+— its fingerprint, so a stale or foreign artifact is rejected before a
+single array is trusted; every failure is a typed
+:class:`~repro.errors.StoreError`, which is the contract the service
+layer's fall-back-to-cold-solve paths rely on.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+from ..core.cache import LabelDistanceCache
+from ..errors import StoreCorruptError, StoreFingerprintError
+from ..graph.graph import Graph
+from .builder import DISTANCES_NAME, RESULTS_NAME, BuildReport, build_store
+from .format import iter_records, read_header, unpack_label_table
+from .manifest import Manifest, graph_fingerprint
+from .result_cache import ResultCache
+
+__all__ = ["PrecomputeStore"]
+
+
+class PrecomputeStore:
+    """Validated handle on one store directory."""
+
+    def __init__(self, path: str, manifest: Manifest) -> None:
+        self.path = path
+        self.manifest = manifest
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(cls, path: str, graph: Optional[Graph] = None) -> "PrecomputeStore":
+        """Open a store, fail-closed.
+
+        Validates the manifest (typed errors for corruption / version
+        skew) and, when ``graph`` is given, compares fingerprints —
+        a mismatch raises :class:`~repro.errors.StoreFingerprintError`.
+        """
+        if not os.path.isdir(path):
+            raise StoreCorruptError(f"store path {path!r} is not a directory")
+        manifest = Manifest.load(path)
+        store = cls(path, manifest)
+        if graph is not None:
+            store.check_graph(graph)
+        return store
+
+    @classmethod
+    def build(
+        cls,
+        graph: Graph,
+        path: str,
+        **build_kwargs,
+    ) -> Tuple["PrecomputeStore", BuildReport]:
+        """Build a store for ``graph`` and return the opened handle."""
+        report = build_store(graph, path, **build_kwargs)
+        return cls.open(path, graph), report
+
+    def check_graph(self, graph: Graph) -> None:
+        """Raise unless this store was built for exactly ``graph``."""
+        live = graph_fingerprint(graph)
+        if live != self.manifest.fingerprint:
+            raise StoreFingerprintError(
+                f"store {self.path!r} was built for a different graph "
+                f"(stored fingerprint {self.manifest.fingerprint[:12]}…, "
+                f"live graph {live[:12]}…); rebuild with `repro precompute`"
+            )
+
+    # ------------------------------------------------------------------
+    # Distance tables
+    # ------------------------------------------------------------------
+    @property
+    def labels(self) -> List[str]:
+        """Labels whose distance tables this store holds."""
+        return list(self.manifest.labels)
+
+    def load_tables(
+        self, labels: Optional[Iterable[Hashable]] = None
+    ) -> Dict[str, Tuple[List[float], List[int]]]:
+        """Stream the distance file into ``{label: (dist, parent)}``.
+
+        ``labels`` restricts which tables are kept (all by default).
+        Truncation, checksum and shape problems raise typed errors.
+        """
+        wanted = (
+            None if labels is None else {str(label) for label in labels}
+        )
+        path = os.path.join(self.path, DISTANCES_NAME)
+        what = f"store {self.path!r} distances"
+        tables: Dict[str, Tuple[List[float], List[int]]] = {}
+        try:
+            handle = open(path, "rb")
+        except OSError as exc:
+            raise StoreCorruptError(f"{what}: cannot open: {exc}") from None
+        with handle:
+            read_header(handle, what=what)
+            for payload in iter_records(handle, what=what):
+                label, dist, parent = unpack_label_table(payload, what=what)
+                if len(dist) != self.manifest.num_nodes:
+                    raise StoreCorruptError(
+                        f"{what}: table for label {label!r} has "
+                        f"{len(dist)} nodes, manifest says "
+                        f"{self.manifest.num_nodes}"
+                    )
+                if wanted is None or label in wanted:
+                    tables[label] = (dist, parent)
+        return tables
+
+    def warm(
+        self,
+        cache: LabelDistanceCache,
+        labels: Optional[Iterable[Hashable]] = None,
+    ) -> int:
+        """Preload a live label cache from disk; returns tables loaded.
+
+        The cache must belong to a fingerprint-matching graph — callers
+        go through :meth:`GraphIndex.attach_store
+        <repro.service.index.GraphIndex.attach_store>`, which checks.
+        """
+        tables = self.load_tables(labels)
+        count = 0
+        for label, (dist, parent) in tables.items():
+            raw = self._resolve_label(cache.graph, label)
+            if raw is None:
+                continue
+            cache.preload(raw, (dist, parent))
+            count += 1
+        return count
+
+    @staticmethod
+    def _resolve_label(graph: Graph, text: str) -> Optional[Hashable]:
+        """Stored (string) label → the graph's live hashable label."""
+        if graph.label_frequency(text) > 0:
+            return text
+        for label in graph.all_labels():
+            if str(label) == text:
+                return label
+        return None
+
+    # ------------------------------------------------------------------
+    # Result cache persistence
+    # ------------------------------------------------------------------
+    def load_result_cache(self, **cache_kwargs) -> ResultCache:
+        """The persisted result cache (empty when none was saved yet)."""
+        cache = ResultCache(**cache_kwargs)
+        path = os.path.join(self.path, RESULTS_NAME)
+        if os.path.exists(path):
+            what = f"store {self.path!r} results"
+            try:
+                handle = open(path, "rb")
+            except OSError as exc:
+                raise StoreCorruptError(f"{what}: cannot open: {exc}") from None
+            with handle:
+                cache.load_from(handle, what=what)
+        return cache
+
+    def save_result_cache(self, cache: ResultCache) -> int:
+        """Persist the result cache next to the tables; returns entries."""
+        path = os.path.join(self.path, RESULTS_NAME)
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as handle:
+            count = cache.save_to(handle)
+        os.replace(tmp, path)
+        return count
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        return (
+            f"PrecomputeStore({self.path!r}, labels={len(self.manifest.labels)}, "
+            f"fingerprint={self.manifest.fingerprint[:12]}…)"
+        )

@@ -172,4 +172,56 @@ class TestLRUBound:
             "evictions": 1,
             "cached_labels": 2,
             "max_labels": 2,
+            "warm_loads": 0,
+            "warm_labels": 0,
         }
+
+
+class TestPreload:
+    """Store warm-loading into the live cache (repro.store wiring)."""
+
+    def test_preload_counts_warm_not_miss(self, graph):
+        from repro.graph.shortest_paths import multi_source_dijkstra
+
+        cache = LabelDistanceCache(graph)
+        entry = multi_source_dijkstra(graph, list(graph.nodes_with_label("q0")))
+        cache.preload("q0", entry)
+        assert cache.warm_loads == 1
+        assert cache.misses == 0
+        assert cache.is_warm("q0")
+        # A later query on q0 is a hit served from the preloaded arrays.
+        dist, parent = cache.distances("q0")
+        assert cache.hits == 1
+        assert dist == entry[0]
+
+    def test_preload_validates_array_shape(self, graph):
+        cache = LabelDistanceCache(graph)
+        with pytest.raises(ValueError, match="nodes"):
+            cache.preload("q0", ([0.0], [-1]))
+
+    def test_preload_keeps_live_entry(self, graph):
+        cache = LabelDistanceCache(graph)
+        live_dist, _ = cache.distances("q0")
+        cache.preload("q0", ([0.0] * graph.num_nodes, [-1] * graph.num_nodes))
+        dist, _ = cache.distances("q0")
+        assert dist == live_dist  # the live arrays won
+
+    def test_eviction_clears_warm_flag(self, graph):
+        from repro.graph.shortest_paths import multi_source_dijkstra
+
+        cache = LabelDistanceCache(graph, max_labels=1)
+        entry = multi_source_dijkstra(graph, list(graph.nodes_with_label("q0")))
+        cache.preload("q0", entry)
+        cache.distances("q1")  # evicts q0
+        assert not cache.is_warm("q0")
+        assert cache.counters()["warm_labels"] == 0
+
+    def test_clear_resets_warm(self, graph):
+        from repro.graph.shortest_paths import multi_source_dijkstra
+
+        cache = LabelDistanceCache(graph)
+        entry = multi_source_dijkstra(graph, list(graph.nodes_with_label("q0")))
+        cache.preload("q0", entry)
+        cache.clear()
+        assert not cache.is_warm("q0")
+        assert len(cache) == 0

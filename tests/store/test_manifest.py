@@ -1,0 +1,129 @@
+"""Manifest and graph-fingerprint tests: the store's trust anchor."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import Graph
+from repro.errors import StoreCorruptError, StoreVersionError
+from repro.graph import generators
+from repro.store.format import FORMAT_VERSION
+from repro.store.manifest import MANIFEST_NAME, Manifest, graph_fingerprint
+
+
+def make_graph(seed: int = 0):
+    return generators.random_graph(
+        20, 35, num_query_labels=4, label_frequency=3, seed=seed
+    )
+
+
+class TestGraphFingerprint:
+    def test_deterministic(self):
+        assert graph_fingerprint(make_graph(1)) == graph_fingerprint(make_graph(1))
+
+    def test_different_seed_differs(self):
+        assert graph_fingerprint(make_graph(1)) != graph_fingerprint(make_graph(2))
+
+    def test_sensitive_to_weight_change(self):
+        g1, g2 = make_graph(), make_graph()
+        u, v, w = next(iter(g2.edges()))
+        g2.add_edge(u, v, w / 2.0)  # parallel edges keep the lighter weight
+        assert graph_fingerprint(g1) != graph_fingerprint(g2)
+
+    def test_sensitive_to_label_move(self):
+        g1, g2 = make_graph(), make_graph()
+        g2.add_labels(0, ["brand-new-label"])
+        assert graph_fingerprint(g1) != graph_fingerprint(g2)
+
+    def test_sensitive_to_extra_node(self):
+        g1, g2 = make_graph(), make_graph()
+        g2.add_node()
+        assert graph_fingerprint(g1) != graph_fingerprint(g2)
+
+    def test_insertion_order_invariant(self):
+        """Same structure built in a different edge order → same hash."""
+        def build(edge_order):
+            g = Graph()
+            for _ in range(3):
+                g.add_node()
+            g.add_labels(0, ["x"])
+            g.add_labels(2, ["y"])
+            for u, v, w in edge_order:
+                g.add_edge(u, v, w)
+            return g
+
+        edges = [(0, 1, 1.0), (1, 2, 2.0), (0, 2, 4.0)]
+        assert graph_fingerprint(build(edges)) == graph_fingerprint(
+            build(list(reversed(edges)))
+        )
+
+
+class TestManifest:
+    def test_round_trip(self, tmp_path):
+        graph = make_graph()
+        manifest = Manifest.for_graph(
+            graph, ["q0", "q1"], graph_stem="/data/g"
+        )
+        manifest.save(str(tmp_path))
+        loaded = Manifest.load(str(tmp_path))
+        assert loaded == manifest
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(StoreCorruptError, match="cannot read"):
+            Manifest.load(str(tmp_path))
+
+    def test_malformed_json(self, tmp_path):
+        (tmp_path / MANIFEST_NAME).write_text("{broken", encoding="utf-8")
+        with pytest.raises(StoreCorruptError, match="malformed manifest"):
+            Manifest.load(str(tmp_path))
+
+    def test_not_an_object(self, tmp_path):
+        (tmp_path / MANIFEST_NAME).write_text("[1, 2]", encoding="utf-8")
+        with pytest.raises(StoreCorruptError, match="not a JSON object"):
+            Manifest.load(str(tmp_path))
+
+    @pytest.mark.parametrize("key", Manifest.REQUIRED)
+    def test_missing_required_key(self, tmp_path, key):
+        manifest = Manifest.for_graph(make_graph(), ["q0"])
+        record = manifest.to_dict()
+        del record[key]
+        (tmp_path / MANIFEST_NAME).write_text(json.dumps(record))
+        if key == "format_version":
+            # Treated as a missing key (corruption), not version skew.
+            with pytest.raises(StoreCorruptError, match="missing required"):
+                Manifest.load(str(tmp_path))
+        else:
+            with pytest.raises(StoreCorruptError, match=key):
+                Manifest.load(str(tmp_path))
+
+    def test_version_skew(self, tmp_path):
+        manifest = Manifest.for_graph(make_graph(), ["q0"])
+        record = manifest.to_dict()
+        record["format_version"] = FORMAT_VERSION + 7
+        (tmp_path / MANIFEST_NAME).write_text(json.dumps(record))
+        with pytest.raises(StoreVersionError):
+            Manifest.load(str(tmp_path))
+
+    def test_wrong_field_type(self, tmp_path):
+        manifest = Manifest.for_graph(make_graph(), ["q0"])
+        record = manifest.to_dict()
+        record["num_nodes"] = "many"
+        (tmp_path / MANIFEST_NAME).write_text(json.dumps(record))
+        with pytest.raises(StoreCorruptError, match="wrong type"):
+            Manifest.load(str(tmp_path))
+
+    def test_label_frequencies_recorded(self):
+        graph = make_graph()
+        manifest = Manifest.for_graph(graph, ["q0", "q3"])
+        assert manifest.label_frequencies == {
+            "q0": graph.label_frequency("q0"),
+            "q3": graph.label_frequency("q3"),
+        }
+
+    def test_manifest_is_human_readable(self, tmp_path):
+        Manifest.for_graph(make_graph(), ["q0"]).save(str(tmp_path))
+        text = (tmp_path / MANIFEST_NAME).read_text(encoding="utf-8")
+        assert "\n" in text  # indented, not minified
+        assert json.loads(text)["created_by"] == "repro.store"

@@ -1,0 +1,228 @@
+"""Epsilon-aware result-cache semantics (the reuse rule), LRU/TTL,
+and CRC-framed persistence round-trips.
+
+The asymmetric reuse rule under test: an answer *proven* within
+``(1 + ε)`` of optimal may serve any later request asking for
+``ε' ≥ ε``; it must never serve a tighter request.
+"""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro import solve_gst
+from repro.errors import StoreCorruptError
+from repro.graph import generators
+from repro.store.result_cache import CachedAnswer, ResultCache, result_key
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generators.random_graph(
+        40, 80, num_query_labels=6, label_frequency=3, seed=7
+    )
+
+
+@pytest.fixture(scope="module")
+def exact_result(graph):
+    return solve_gst(graph, ["q0", "q1"])
+
+
+class FakeClock:
+    def __init__(self, now: float = 1000.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def loose_answer(result, labels, algorithm="pruneddp++", epsilon=0.5):
+    """A CachedAnswer claiming only a (1+epsilon) proof for ``result``."""
+    return CachedAnswer(
+        labels=tuple(sorted(str(l) for l in labels)),
+        algorithm=algorithm,
+        weight=result.weight,
+        lower_bound=result.weight / (1.0 + epsilon),
+        optimal=False,
+        epsilon=epsilon,
+        tree_nodes=tuple(result.tree.nodes),
+        tree_edges=tuple(result.tree.edges),
+        created=1000.0,
+    )
+
+
+def install(cache, answer):
+    """Insert a hand-built CachedAnswer (bypassing put's proof logic)."""
+    cache._entries[result_key(answer.labels, answer.algorithm)] = answer
+
+
+class TestEpsilonReuseRule:
+    def test_exact_serves_everything(self, graph, exact_result):
+        cache = ResultCache()
+        cache.put(["q0", "q1"], "pruneddp++", exact_result)
+        for requested in (0.0, 0.1, 0.5, 10.0):
+            hit = cache.lookup(["q0", "q1"], "pruneddp++", requested)
+            assert hit is not None, requested
+            assert hit.epsilon == 0.0
+
+    def test_loose_does_not_serve_tighter(self, graph, exact_result):
+        cache = ResultCache()
+        install(cache, loose_answer(exact_result, ["q0", "q1"], epsilon=0.5))
+        assert cache.lookup(["q0", "q1"], "pruneddp++", 0.1) is None
+        assert cache.lookup(["q0", "q1"], "pruneddp++", 0.0) is None
+        # ... but the entry stays for looser callers:
+        assert cache.lookup(["q0", "q1"], "pruneddp++", 0.5) is not None
+        assert cache.lookup(["q0", "q1"], "pruneddp++", 0.9) is not None
+
+    def test_equal_epsilon_serves(self, graph, exact_result):
+        cache = ResultCache()
+        install(cache, loose_answer(exact_result, ["q0", "q1"], epsilon=0.3))
+        assert cache.lookup(["q0", "q1"], "pruneddp++", 0.3) is not None
+
+    def test_tier_mismatch_bypasses(self, graph, exact_result):
+        cache = ResultCache()
+        cache.put(["q0", "q1"], "pruneddp++", exact_result)
+        assert cache.lookup(["q0", "q1"], "basic", 1.0) is None
+        assert cache.lookup(["q0", "q1"], "pruneddp", 1.0) is None
+
+    def test_label_order_is_canonical(self, graph, exact_result):
+        cache = ResultCache()
+        cache.put(["q1", "q0"], "pruneddp++", exact_result)
+        assert cache.lookup(["q0", "q1"], "pruneddp++", 0.0) is not None
+
+    def test_tighter_answer_replaces_looser(self, graph, exact_result):
+        cache = ResultCache()
+        install(cache, loose_answer(exact_result, ["q0", "q1"], epsilon=0.5))
+        cache.put(["q0", "q1"], "pruneddp++", exact_result)
+        hit = cache.lookup(["q0", "q1"], "pruneddp++", 0.0)
+        assert hit is not None and hit.epsilon == 0.0
+
+    def test_looser_answer_never_degrades_exact(self, graph, exact_result):
+        cache = ResultCache()
+        cache.put(["q0", "q1"], "pruneddp++", exact_result)
+        # A later anytime run proving only 1.5x must not clobber it.
+        import dataclasses
+
+        loose = dataclasses.replace(
+            exact_result, optimal=False,
+            lower_bound=exact_result.weight / 1.5,
+        )
+        cache.put(["q0", "q1"], "pruneddp++", loose)
+        hit = cache.lookup(["q0", "q1"], "pruneddp++", 0.0)
+        assert hit is not None and hit.optimal
+
+    def test_infeasible_not_cached(self, graph):
+        cache = ResultCache()
+        import dataclasses
+
+        result = solve_gst(graph, ["q0"])
+        broken = dataclasses.replace(result, tree=None, weight=float("inf"))
+        assert cache.put(["q0"], "pruneddp++", broken) is None
+        assert len(cache) == 0
+
+
+class TestEvictionAndTTL:
+    def test_lru_eviction(self, graph, exact_result):
+        cache = ResultCache(max_entries=2)
+        cache.put(["q0", "q1"], "pruneddp++", exact_result)
+        cache.put(["q0", "q2"], "pruneddp++", solve_gst(graph, ["q0", "q2"]))
+        cache.lookup(["q0", "q1"], "pruneddp++", 0.0)  # refresh recency
+        cache.put(["q0", "q3"], "pruneddp++", solve_gst(graph, ["q0", "q3"]))
+        assert cache.counters()["evictions"] == 1
+        assert cache.lookup(["q0", "q1"], "pruneddp++", 0.0) is not None
+        assert cache.lookup(["q0", "q2"], "pruneddp++", 0.0) is None
+
+    def test_ttl_expiry(self, graph, exact_result):
+        clock = FakeClock()
+        cache = ResultCache(ttl_seconds=60.0, clock=clock)
+        cache.put(["q0", "q1"], "pruneddp++", exact_result)
+        clock.now += 59.0
+        assert cache.lookup(["q0", "q1"], "pruneddp++", 0.0) is not None
+        clock.now += 2.0
+        assert cache.lookup(["q0", "q1"], "pruneddp++", 0.0) is None
+        counters = cache.counters()
+        assert counters["expirations"] == 1
+        assert counters["entries"] == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ResultCache(max_entries=0)
+        with pytest.raises(ValueError):
+            ResultCache(ttl_seconds=0.0)
+
+
+class TestPersistence:
+    def test_round_trip(self, graph, exact_result):
+        cache = ResultCache()
+        cache.put(["q0", "q1"], "pruneddp++", exact_result)
+        install(cache, loose_answer(exact_result, ["q2"], epsilon=0.25))
+        buf = io.BytesIO()
+        assert cache.save_to(buf) == 2
+
+        buf.seek(0)
+        fresh = ResultCache()
+        assert fresh.load_from(buf) == 2
+        hit = fresh.lookup(["q0", "q1"], "pruneddp++", 0.0)
+        assert hit is not None
+        assert hit.weight == exact_result.weight
+        assert hit.tree_edges  # tree survives the round trip
+        # The loose entry kept its proven gap — still refuses tight asks.
+        assert fresh.lookup(["q2"], "pruneddp++", 0.1) is None
+        assert fresh.lookup(["q2"], "pruneddp++", 0.3) is not None
+
+    def test_rehydrated_result_is_usable(self, graph, exact_result):
+        cache = ResultCache()
+        cache.put(["q0", "q1"], "pruneddp++", exact_result)
+        buf = io.BytesIO()
+        cache.save_to(buf)
+        buf.seek(0)
+        fresh = ResultCache()
+        fresh.load_from(buf)
+        entry = fresh.lookup(["q0", "q1"], "pruneddp++", 0.0)
+        result = entry.to_result(("q0", "q1"))
+        assert result.weight == exact_result.weight
+        assert result.optimal == exact_result.optimal
+        assert result.tree.weight == pytest.approx(exact_result.tree.weight)
+
+    def test_load_skips_expired(self, graph, exact_result):
+        clock = FakeClock(now=1000.0)
+        cache = ResultCache(clock=clock)
+        cache.put(["q0", "q1"], "pruneddp++", exact_result)
+        buf = io.BytesIO()
+        cache.save_to(buf)
+        buf.seek(0)
+        late = ResultCache(ttl_seconds=5.0, clock=FakeClock(now=9999.0))
+        assert late.load_from(buf) == 0
+        assert late.counters()["expirations"] == 1
+
+    def test_live_tighter_entry_wins_over_persisted(self, graph, exact_result):
+        loose = ResultCache()
+        install(loose, loose_answer(exact_result, ["q0", "q1"], epsilon=0.5))
+        buf = io.BytesIO()
+        loose.save_to(buf)
+        buf.seek(0)
+        live = ResultCache()
+        live.put(["q0", "q1"], "pruneddp++", exact_result)  # exact, live
+        assert live.load_from(buf) == 0
+        assert live.lookup(["q0", "q1"], "pruneddp++", 0.0) is not None
+
+    def test_malformed_record_raises_typed(self):
+        from repro.store.format import pack_json, write_header, write_record
+
+        buf = io.BytesIO()
+        write_header(buf)
+        write_record(buf, pack_json({"labels": ["a"]}))  # missing keys
+        buf.seek(0)
+        with pytest.raises(StoreCorruptError, match="malformed cached-answer"):
+            ResultCache().load_from(buf)
+
+    def test_truncated_stream_raises_typed(self, graph, exact_result):
+        cache = ResultCache()
+        cache.put(["q0", "q1"], "pruneddp++", exact_result)
+        buf = io.BytesIO()
+        cache.save_to(buf)
+        truncated = io.BytesIO(buf.getvalue()[:-5])
+        with pytest.raises(StoreCorruptError):
+            ResultCache().load_from(truncated)
