@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Long differential-fuzz run for nightly/local use.
+#
+# The CI smoke step covers a few hundred seeded rounds in ~30 s; this
+# script is the deep end: thousands of rounds, larger graphs, the
+# metamorphic transforms on every 10th round, engine-level incumbent
+# certification, and an epsilon (anytime-mode) sweep.  Minimized
+# reproducers for any failure land in $OUT_DIR; replay one with the
+# `repro verify` command printed inside its .json record.
+#
+# Environment knobs (all optional):
+#   ROUNDS      rounds per pass            (default 2000)
+#   SEED        first seed of the pass     (default: day-of-year * 10000)
+#   MAX_NODES   largest random graph       (default 24)
+#   OUT_DIR     reproducer directory       (default fuzz-failures)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+ROUNDS="${ROUNDS:-2000}"
+SEED="${SEED:-$((10#$(date +%j) * 10000))}"
+MAX_NODES="${MAX_NODES:-24}"
+OUT_DIR="${OUT_DIR:-fuzz-failures}"
+
+echo "== exact differential sweep (seed $SEED, $ROUNDS rounds) =="
+python -m repro fuzz --seed "$SEED" --rounds "$ROUNDS" \
+    --max-nodes "$MAX_NODES" --metamorphic 10 --debug-certify \
+    --out "$OUT_DIR"
+
+echo "== anytime-mode sweep (epsilon 0.5) =="
+python -m repro fuzz --seed "$((SEED + ROUNDS))" --rounds "$((ROUNDS / 4))" \
+    --max-nodes "$MAX_NODES" --epsilon 0.5 --out "$OUT_DIR"
+
+echo "nightly fuzz clean: no disagreements, no certification failures"

@@ -8,6 +8,10 @@ Commands
 ``generate``    Produce a synthetic dataset (edge/label files).
 ``info``        Summarize a stored graph.
 ``bench``       Regenerate one of the paper's figures/tables.
+``verify``      Cross-check every algorithm tier on one instance and
+                certify each answer (replays minimized fuzz reproducers).
+``fuzz``        Seeded differential sweep over random instances
+                (:mod:`repro.verify`); failures are minimized and saved.
 
 ``solve`` and ``batch`` accept ``--store PATH`` to warm-start from a
 store built by ``precompute``: per-label distance tables are preloaded
@@ -165,6 +169,55 @@ def build_parser() -> argparse.ArgumentParser:
 
     info = sub.add_parser("info", help="summarize a stored graph")
     info.add_argument("--graph", required=True, help="graph file stem")
+
+    verify = sub.add_parser(
+        "verify",
+        help="run every algorithm tier on one query and certify the answers",
+    )
+    verify.add_argument("--graph", required=True, help="graph file stem")
+    verify.add_argument(
+        "--labels", required=True,
+        help="comma-separated query labels, e.g. q0,q1,q2",
+    )
+    verify.add_argument(
+        "--algorithm", action="append", default=None, metavar="TIER",
+        choices=sorted(ALGORITHMS) + ["bruteforce"],
+        help="tier to include (repeatable; default: all applicable)",
+    )
+    verify.add_argument("--epsilon", type=float, default=0.0,
+                        help="allow progressive tiers a proven (1+eps) gap")
+    verify.add_argument("--debug-certify", action="store_true",
+                        help="also certify every incumbent update inside "
+                             "the engines (slower, pinpoints the bad pop)")
+    verify.add_argument("--quiet", action="store_true",
+                        help="print only the verdict line")
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="seeded differential fuzz sweep across all algorithm tiers",
+    )
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="first round seed (rounds use seed..seed+N-1)")
+    fuzz.add_argument("--rounds", type=int, default=200,
+                      help="number of random instances to sweep")
+    fuzz.add_argument("--max-nodes", type=int, default=24,
+                      help="largest random graph to generate")
+    fuzz.add_argument("--max-labels", type=int, default=5,
+                      help="largest query-label pool to generate")
+    fuzz.add_argument("--epsilon", type=float, default=0.0,
+                      help="fuzz the anytime mode at this epsilon instead "
+                           "of exact agreement")
+    fuzz.add_argument("--metamorphic", type=int, default=0, metavar="N",
+                      help="run the metamorphic transforms every N-th "
+                           "round (0 = off)")
+    fuzz.add_argument("--debug-certify", action="store_true",
+                      help="certify every incumbent update inside the "
+                           "engines during the sweep")
+    fuzz.add_argument("--out", default="fuzz-failures", metavar="DIR",
+                      help="directory for minimized reproducers "
+                           "(created only on failure)")
+    fuzz.add_argument("--quiet", action="store_true",
+                      help="print only the summary line")
 
     bench = sub.add_parser("bench", help="regenerate a paper experiment")
     bench.add_argument(
@@ -506,6 +559,85 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from .verify import verify_instance
+
+    graph = load_graph(args.graph)
+    labels = [token for token in args.labels.split(",") if token]
+    report = verify_instance(
+        graph,
+        labels,
+        algorithms=args.algorithm,
+        epsilon=args.epsilon,
+        debug_certify=args.debug_certify,
+    )
+    if not args.quiet:
+        for name, run in report.runs.items():
+            print(f"{name:<12}: {run.describe()}")
+    if report.ok:
+        feasible = [
+            run for run in report.runs.values() if not run.infeasible
+        ]
+        if feasible:
+            print(
+                f"verify: {len(report.runs)} tiers agree, "
+                f"weight={feasible[0].weight:g} — OK"
+            )
+        else:
+            print(f"verify: {len(report.runs)} tiers agree — infeasible")
+        return 0
+    if report.disagreement is not None:
+        print(f"verify: {report.disagreement}", file=sys.stderr)
+    for violation in report.violations:
+        print(f"verify: {violation}", file=sys.stderr)
+    return 1
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from .verify import run_sweep
+
+    if args.rounds <= 0:
+        raise ReproError("--rounds must be positive")
+    progress_every = max(1, args.rounds // 10)
+    started = _time.perf_counter()
+
+    def on_round(report):
+        done = report.seed - args.seed + 1
+        if not args.quiet and done % progress_every == 0:
+            elapsed = _time.perf_counter() - started
+            print(
+                f"fuzz: {done}/{args.rounds} rounds "
+                f"({elapsed:.1f}s)", file=sys.stderr
+            )
+        if not report.ok:
+            print(
+                f"fuzz: seed {report.seed} FAILED: "
+                f"{report.disagreement or '; '.join(report.violations)}",
+                file=sys.stderr,
+            )
+
+    sweep = run_sweep(
+        args.rounds,
+        seed=args.seed,
+        max_nodes=args.max_nodes,
+        max_labels=args.max_labels,
+        epsilon=args.epsilon,
+        debug_certify=args.debug_certify,
+        metamorphic_every=args.metamorphic,
+        reproducer_dir=args.out,
+        on_round=on_round,
+    )
+    print(sweep.summary())
+    for report in sweep.failures:
+        if report.reproducer is not None:
+            print(
+                f"fuzz: reproducer for seed {report.seed}: "
+                f"{report.reproducer}(.edges/.labels/.json)",
+                file=sys.stderr,
+            )
+    return 0 if sweep.ok else 1
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     dataset, scale = args.dataset, args.scale
     if args.experiment == "fig4":
@@ -530,6 +662,8 @@ _COMMANDS = {
     "precompute": _cmd_precompute,
     "generate": _cmd_generate,
     "info": _cmd_info,
+    "verify": _cmd_verify,
+    "fuzz": _cmd_fuzz,
     "bench": _cmd_bench,
 }
 

@@ -37,6 +37,12 @@ equivalents remain accepted and win over the budget's fields):
     Optional cap on the A* lower-bound memo's ``(node, mask)`` entries
     (see :class:`~repro.core.bounds.LowerBounds`); evicting is safe —
     bounds are just re-derived — so long batches can bound memory.
+``debug_certify``
+    Opt-in correctness paranoia: every incumbent update is re-validated
+    by the independent certifier in :mod:`repro.verify` (tree shape,
+    coverage, recomputed weight, bound soundness); a violation raises
+    :class:`~repro.errors.CertificationError` at the exact pop that
+    produced the bad answer.
 """
 
 from __future__ import annotations
@@ -96,6 +102,7 @@ class _ProgressiveSolverBase:
         progressive: bool = True,
         distance_cache=None,
         bound_memo_limit: Optional[int] = None,
+        debug_certify: bool = False,
     ) -> None:
         self.graph = graph
         self.query = _coerce_query(query)
@@ -120,6 +127,9 @@ class _ProgressiveSolverBase:
         # Optional bound on the LowerBounds (node, mask) memo so long
         # batches cannot grow it without limit (None = unbounded).
         self.bound_memo_limit = bound_memo_limit
+        # Opt-in paranoia: the engine certifies every incumbent update
+        # through repro.verify (see SearchEngine.debug_certify).
+        self.debug_certify = debug_certify
         if self.requires_positive_weights and graph.num_edges > 0:
             if graph.min_edge_weight <= 0.0:
                 raise GraphError(
@@ -162,6 +172,7 @@ class _ProgressiveSolverBase:
             merge_factor=self.merge_factor,
             complement_shortcut=self.complement_shortcut,
             progressive=self.progressive,
+            debug_certify=self.debug_certify,
             on_progress=self.on_progress,
             on_feasible=self.on_feasible,
             on_event=self.on_event,

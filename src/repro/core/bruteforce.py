@@ -19,6 +19,7 @@ from __future__ import annotations
 from itertools import combinations
 from typing import Hashable, Iterable, List, Optional, Tuple
 
+from ..errors import InfeasibleQueryError
 from ..graph.graph import Graph
 from ..graph.mst import minimum_spanning_forest
 from ..graph.union_find import UnionFind
@@ -34,7 +35,14 @@ MAX_BRUTE_FORCE_NODES = 18
 def brute_force_gst(
     graph: Graph, labels: Iterable[Hashable]
 ) -> Tuple[float, Optional[SteinerTree]]:
-    """Exact optimum by subset enumeration; ``(inf, None)`` if infeasible."""
+    """Exact optimum by subset enumeration.
+
+    Returns ``(inf, None)`` when every label occurs somewhere but no
+    connected subgraph covers them all.  A label carried by *no* node
+    raises :class:`~repro.errors.InfeasibleQueryError` instead — the
+    same typed error every solver tier raises for an empty group, so
+    differential harnesses see one uniform failure mode.
+    """
     query = labels if isinstance(labels, GSTQuery) else GSTQuery(labels)
     n = graph.num_nodes
     if n > MAX_BRUTE_FORCE_NODES:
@@ -43,7 +51,12 @@ def brute_force_gst(
         )
     label_masks = [0] * n
     for i, label in enumerate(query.labels):
-        for node in graph.nodes_with_label(label):
+        members = graph.nodes_with_label(label)
+        if not members:
+            raise InfeasibleQueryError(
+                f"label {label!r} occurs on no node of the graph"
+            )
+        for node in members:
             label_masks[node] |= 1 << i
     full = query.full_mask
 

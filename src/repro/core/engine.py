@@ -74,6 +74,7 @@ class SearchEngine:
         max_states: Optional[int] = None,
         on_limit: str = "return",
         cancel_token=None,
+        debug_certify: bool = False,
         on_progress: Optional[Callable[[ProgressPoint], None]] = None,
         on_feasible: Optional[Callable[[SteinerTree], None]] = None,
         on_event: Optional[Callable[[str, dict], None]] = None,
@@ -98,6 +99,7 @@ class SearchEngine:
         self.max_states = max_states
         self.on_limit = on_limit
         self.cancel_token = cancel_token
+        self.debug_certify = debug_certify
         self.on_progress = on_progress
         self.on_feasible = on_feasible
         self.on_event = on_event
@@ -152,7 +154,7 @@ class SearchEngine:
                 if self._limits_hit():
                     break
             if self._epsilon_satisfied():
-                optimal = self.epsilon == 0.0
+                optimal = self.epsilon == 0.0 or self._best <= 0.0
                 break
 
             key, f_value = self._queue.pop()
@@ -332,8 +334,11 @@ class SearchEngine:
         if tree.weight < self._best - _COST_EPS:
             self._best = tree.weight
             self._best_tree = tree
+            self._clamp_stale_lb()
             self._emit("new_best", weight=tree.weight, elapsed=self._elapsed())
             self._record_progress()
+            if self.debug_certify:
+                self._certify_incumbent()
 
     def _adopt_best_state(
         self, node: int, mask: int, cost: float, backpointer: tuple
@@ -347,15 +352,43 @@ class SearchEngine:
         # union is even lighter than the state cost; keep the real weight.
         self._best = min(cost, tree.weight)
         self._best_tree = tree
+        self._clamp_stale_lb()
         if self.on_feasible is not None:
             self.on_feasible(tree)
         self._emit("new_best", weight=self._best, elapsed=self._elapsed())
         self._record_progress()
+        if self.debug_certify:
+            self._certify_incumbent()
 
     def _raise_global_lb(self, value: float) -> None:
         if value > self._global_lb:
             self._global_lb = min(value, self._best)
             self._record_progress()
+
+    def _clamp_stale_lb(self) -> None:
+        """Keep the global lower bound from crossing a new incumbent.
+
+        ``_raise_global_lb`` clamps against the incumbent *at raise
+        time*; when a later feasible tree drops ``_best`` below the
+        already-raised bound the stored value would cross it.  (The pi
+        bound paths can also overshoot by float rounding.)  Every report
+        derives its LB from ``min(_global_lb, _best)``, so this keeps
+        the stored state itself sound.
+        """
+        if self._global_lb > self._best:
+            self._global_lb = self._best
+
+    def _certify_incumbent(self) -> None:
+        """``debug_certify`` hook: independently re-validate the incumbent."""
+        from ..verify.certify import certify_incumbent
+
+        certify_incumbent(
+            self.context.graph,
+            self.context.query.labels,
+            self._best_tree,
+            self._best,
+            min(self._global_lb, self._best),
+        )
 
     def _record_progress(self, force: bool = False) -> None:
         point = ProgressPoint(
@@ -387,7 +420,15 @@ class SearchEngine:
         return time.perf_counter() - self._started
 
     def _epsilon_satisfied(self) -> bool:
-        if self._best == INF or self._global_lb <= 0.0:
+        if self._best == INF:
+            return False
+        if self._best <= 0.0:
+            # Non-negative edge weights make a zero-weight incumbent
+            # trivially optimal; without this the lb-positivity guard
+            # below would drain the whole queue (and could even trip
+            # max_states) with the proven answer already in hand.
+            return True
+        if self._global_lb <= 0.0:
             return False
         return self._best <= (1.0 + self.epsilon) * self._global_lb + _COST_EPS
 

@@ -11,6 +11,27 @@ __all__ = ["ProgressPoint", "SearchStats", "GSTResult"]
 
 INF = float("inf")
 
+# Tolerance for lower-bound/incumbent comparisons.  Float rounding in
+# the A* bound paths (halved tour bounds, path-max raising) can push a
+# lower bound a few ulps past the incumbent; a crossing within this
+# relative tolerance is rounding noise and is clamped to the incumbent.
+# A crossing *beyond* it means the bound itself cannot be trusted, so it
+# is discarded (reset to 0.0 — "nothing proven") rather than laundered
+# into a false optimality certificate.
+_BOUND_TOL = 1e-9
+
+
+def _clamped_lower_bound(lower_bound: float, weight: float) -> float:
+    """``lower_bound`` made sound against ``weight`` (never crossing it)."""
+    if lower_bound < 0.0:
+        return 0.0
+    if lower_bound <= weight:
+        return lower_bound
+    if weight < INF and lower_bound <= weight + _BOUND_TOL * max(1.0, abs(weight)):
+        return weight
+    return 0.0
+
+
 # Rough per-state footprint used to translate peak live-state counts into
 # the byte figures the paper plots (Figs 8/9).  A state costs a queue
 # entry (priority tuple + key tuple + heap slot + position-map slot) or a
@@ -30,6 +51,14 @@ class ProgressPoint:
     elapsed: float
     best_weight: float
     lower_bound: float
+
+    def __post_init__(self) -> None:
+        # Report-time enforcement of the non-crossing invariant: no
+        # progress event may ever claim LB > UB (the certifier asserts
+        # this on every trace).
+        clamped = _clamped_lower_bound(self.lower_bound, self.best_weight)
+        if clamped != self.lower_bound:
+            object.__setattr__(self, "lower_bound", clamped)
 
     @property
     def ratio(self) -> float:
@@ -112,6 +141,19 @@ class GSTResult:
     optimal: bool
     stats: SearchStats
     trace: List[ProgressPoint] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        # Edge weights are validated non-negative, so a weight-0.0
+        # feasible tree (a single node carrying every query label, or a
+        # zero-weight component) is trivially optimal: nothing can cost
+        # less.  Normalizing here fixes every producer at once — the
+        # engine, the baselines, and cache rehydration.
+        if self.tree is not None and self.weight == 0.0:
+            self.optimal = True
+        if self.optimal and self.weight < INF:
+            self.lower_bound = self.weight
+        else:
+            self.lower_bound = _clamped_lower_bound(self.lower_bound, self.weight)
 
     @property
     def ratio(self) -> float:

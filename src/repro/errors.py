@@ -24,6 +24,7 @@ __all__ = [
     "QueryRejectedError",
     "QueryCancelledError",
     "CircuitOpenError",
+    "CertificationError",
     "StoreError",
     "StoreCorruptError",
     "StoreVersionError",
@@ -106,6 +107,20 @@ class CircuitOpenError(ReproError):
     configuration down the degradation ladder; when the whole ladder is
     open the query is failed fast with this error instead of burning a
     worker on a doomed attempt.
+    """
+
+
+class CertificationError(ReproError):
+    """An answer failed independent re-validation (:mod:`repro.verify`).
+
+    Raised by the solution certifier when a :class:`~repro.core.result.GSTResult`
+    is internally inconsistent: the tree is not a connected acyclic
+    subgraph of the instance, it misses a query group, its recomputed
+    edge-weight sum disagrees with the reported ``weight``, or a claimed
+    bound is unsound (``lower_bound > weight``, or an optimal/epsilon
+    exit whose bounds do not actually prove it).  Seeing this error
+    means a solver, cache, or store produced a wrong answer — it is a
+    bug report, not an input error.
     """
 
 

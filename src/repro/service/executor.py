@@ -21,6 +21,10 @@ shared index, with
   ladder, and per-algorithm circuit breakers
   (see :mod:`repro.service.resilience`), composed into one pipeline
   every query runs through;
+* **cache-hit certification** — with ``certify_cache_hits=True`` every
+  answer served from the persistent result cache is re-validated
+  against the live graph by :mod:`repro.verify`; a failing entry is
+  evicted and the query runs for real;
 * **telemetry** — every outcome carries a
   :class:`~repro.service.telemetry.QueryTrace`; give the executor a
   :class:`~repro.service.telemetry.TraceSink` to stream them as JSONL.
@@ -70,6 +74,7 @@ class QueryExecutor:
         admission: Optional[Union[AdmissionController, AdmissionPolicy]] = None,
         retry_policy: Optional[RetryPolicy] = None,
         breaker_policy: Optional[BreakerPolicy] = None,
+        certify_cache_hits: bool = False,
     ) -> None:
         if max_workers is not None and max_workers <= 0:
             raise ValueError("max_workers must be positive")
@@ -78,6 +83,11 @@ class QueryExecutor:
         self.algorithm = algorithm
         self.budget = budget
         self.trace_sink = trace_sink
+        # Re-validate answers served from the persistent result cache
+        # against the *live* graph (repro.verify).  A store built from a
+        # different-but-fingerprint-colliding graph, or a corrupted
+        # record, is evicted and the query falls through to a real solve.
+        self.certify_cache_hits = certify_cache_hits
         if isinstance(admission, AdmissionPolicy):
             admission = AdmissionController(self.index, admission)
         self.breakers: Optional[BreakerBoard] = (
@@ -217,6 +227,12 @@ class QueryExecutor:
                 epsilon=solver_kwargs.get("epsilon"),
                 query_id=query_id,
             )
+            if (
+                outcome is not None
+                and self.certify_cache_hits
+                and not self._certified_hit(outcome)
+            ):
+                outcome = None
         if outcome is None:
             if self._pipeline.is_noop:
                 outcome = self.index.execute(
@@ -240,6 +256,21 @@ class QueryExecutor:
         if self.trace_sink is not None:
             self.trace_sink.write(outcome.trace)
         return outcome
+
+    def _certified_hit(self, outcome: QueryOutcome) -> bool:
+        """Certify a cache-served answer; evict and miss on violation."""
+        from ..verify.certify import certify_result
+
+        certificate = certify_result(
+            self.index.graph, outcome.result, labels=outcome.labels
+        )
+        if certificate.ok:
+            return True
+        if self.index.result_cache is not None:
+            self.index.result_cache.invalidate(
+                outcome.labels, outcome.algorithm
+            )
+        return False
 
     # ------------------------------------------------------------------
     def shutdown(self, wait: bool = True) -> None:

@@ -108,7 +108,7 @@ class CachedAnswer:
     @classmethod
     def from_record(cls, record: dict, *, what: str = "result cache") -> "CachedAnswer":
         try:
-            return cls(
+            answer = cls(
                 labels=tuple(str(label) for label in record["labels"]),
                 algorithm=str(record["algorithm"]),
                 weight=float(record["weight"]),
@@ -125,6 +125,17 @@ class CachedAnswer:
             raise StoreCorruptError(
                 f"{what}: malformed cached-answer record: {exc!r}"
             ) from None
+        # A live solve can never produce lower_bound > weight (report-time
+        # clamping in repro.core.result); a persisted record claiming it
+        # is corrupt and must not rehydrate into a false ratio-1 answer.
+        if answer.lower_bound > answer.weight + _EPS_SLACK * max(
+            1.0, abs(answer.weight)
+        ):
+            raise StoreCorruptError(
+                f"{what}: cached answer claims lower_bound="
+                f"{answer.lower_bound!r} > weight={answer.weight!r}"
+            )
+        return answer
 
 
 class ResultCache:
@@ -225,6 +236,23 @@ class ResultCache:
                 self._entries.popitem(last=False)
                 self.evictions += 1
         return entry
+
+    def invalidate(
+        self, labels: Iterable[Hashable], algorithm: str
+    ) -> bool:
+        """Evict one entry (certification failure, staleness); True if found.
+
+        Used by the executor's ``certify_cache_hits`` guard: a cached
+        answer that fails re-validation against the live graph must not
+        be served to the *next* caller either.
+        """
+        key = result_key(labels, algorithm)
+        with self._lock:
+            if key not in self._entries:
+                return False
+            del self._entries[key]
+            self.evictions += 1
+            return True
 
     def _expired(self, entry: CachedAnswer) -> bool:
         return (

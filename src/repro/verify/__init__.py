@@ -1,0 +1,69 @@
+"""Differential correctness harness for the GST reproduction.
+
+Three layers, designed to catch three different failure shapes:
+
+* :mod:`repro.verify.certify` — a **solution certifier** that re-derives
+  every claim a :class:`~repro.core.result.GSTResult` makes (tree shape,
+  group coverage, recomputed weight, bound soundness, trace invariants)
+  from first principles.  Catches an answer that is wrong *about itself*.
+* :mod:`repro.verify.differential` — a **differential runner** sweeping
+  random instances across brute force, DPBF, and the four progressive
+  tiers, with greedy minimization and on-disk reproducers for any
+  disagreement.  Catches tiers that are wrong *about each other*.
+* :mod:`repro.verify.metamorphic` — **metamorphic transforms** (node
+  renumbering, weight scaling, duplicate-label aliasing, disconnected
+  clutter) with exactly known effect on the optimum.  Catches all tiers
+  agreeing on a wrong answer.
+
+Entry points: the ``repro verify`` / ``repro fuzz`` CLI subcommands, the
+engine's opt-in ``debug_certify`` solver kwarg, and the executor's
+``certify_cache_hits`` guard for answers served from a persistent store.
+"""
+
+from ..errors import CertificationError
+from .certify import Certificate, certify_incumbent, certify_result
+from .differential import (
+    BRUTE_FORCE_FUZZ_NODES,
+    TIERS,
+    RoundReport,
+    SweepReport,
+    TierRun,
+    generate_instance,
+    minimize_reproducer,
+    run_round,
+    run_sweep,
+    verify_instance,
+    write_reproducer,
+)
+from .metamorphic import (
+    add_disconnected_clutter,
+    clone_graph,
+    inject_duplicate_labels,
+    metamorphic_checks,
+    renumber_nodes,
+    scale_weights,
+)
+
+__all__ = [
+    "Certificate",
+    "CertificationError",
+    "certify_result",
+    "certify_incumbent",
+    "TIERS",
+    "BRUTE_FORCE_FUZZ_NODES",
+    "TierRun",
+    "RoundReport",
+    "SweepReport",
+    "generate_instance",
+    "verify_instance",
+    "run_round",
+    "run_sweep",
+    "minimize_reproducer",
+    "write_reproducer",
+    "clone_graph",
+    "renumber_nodes",
+    "scale_weights",
+    "inject_duplicate_labels",
+    "add_disconnected_clutter",
+    "metamorphic_checks",
+]

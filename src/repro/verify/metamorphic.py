@@ -1,0 +1,181 @@
+"""Metamorphic invariance checks for the GST solvers.
+
+Differential testing catches tiers disagreeing with *each other*; the
+metamorphic layer catches all of them agreeing on a wrong answer.  Each
+transform below rewrites an instance in a way whose effect on the
+optimal weight is known exactly:
+
+* :func:`renumber_nodes` — a random permutation of node ids.  The
+  optimum is invariant (graphs are isomorphic).
+* :func:`scale_weights` — every edge weight multiplied by a positive
+  factor.  The optimum scales by exactly that factor.
+* :func:`inject_duplicate_labels` — for each query label ``p`` an alias
+  label is attached to exactly the nodes of ``V_p`` and appended to the
+  query.  Any tree covering ``p`` covers the alias, so the optimum is
+  invariant (while the DP's mask space doubles — exactly the kind of
+  bookkeeping a bitmask bug would corrupt).
+* :func:`add_disconnected_clutter` — a fresh connected component with
+  only non-query labels.  Unreachable and irrelevant, so the optimum is
+  invariant (this is what flushes out solvers that assume connectivity).
+
+:func:`metamorphic_checks` runs all four against one solver tier and
+returns the list of violated invariants (empty = all held).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, List, Optional, Sequence, Tuple
+
+from ..core.solver import solve_gst
+from ..graph.graph import Graph
+
+__all__ = [
+    "renumber_nodes",
+    "scale_weights",
+    "inject_duplicate_labels",
+    "add_disconnected_clutter",
+    "metamorphic_checks",
+    "clone_graph",
+]
+
+INF = float("inf")
+_REL_TOL = 1e-6
+
+
+def clone_graph(
+    graph: Graph,
+    *,
+    keep_nodes: Optional[Sequence[int]] = None,
+    skip_edge: Optional[Tuple[int, int]] = None,
+    weight_scale: float = 1.0,
+) -> Tuple[Graph, dict]:
+    """A rebuilt copy of ``graph``; returns ``(copy, old_id -> new_id)``.
+
+    ``keep_nodes`` restricts the copy to those nodes (dense renumbering
+    in the given order); ``skip_edge`` drops one edge; ``weight_scale``
+    multiplies every edge weight.  Edges with a dropped endpoint are
+    dropped.  Used by the minimizer and the transforms below.
+    """
+    nodes = list(keep_nodes) if keep_nodes is not None else list(range(graph.num_nodes))
+    copy = Graph()
+    mapping = {}
+    for old in nodes:
+        mapping[old] = copy.add_node(
+            labels=graph.labels_of(old), name=graph.name_of(old)
+        )
+    skip = None
+    if skip_edge is not None:
+        u, v = skip_edge
+        skip = (min(u, v), max(u, v))
+    for u, v, w in graph.edges():
+        if (min(u, v), max(u, v)) == skip:
+            continue
+        if u in mapping and v in mapping:
+            copy.add_edge(mapping[u], mapping[v], w * weight_scale)
+    return copy, mapping
+
+
+def renumber_nodes(
+    graph: Graph, rng: random.Random
+) -> Tuple[Graph, dict]:
+    """An isomorphic copy under a random node permutation."""
+    order = list(range(graph.num_nodes))
+    rng.shuffle(order)
+    return clone_graph(graph, keep_nodes=order)
+
+
+def scale_weights(graph: Graph, factor: float) -> Graph:
+    """Every edge weight multiplied by ``factor`` (> 0)."""
+    if factor <= 0.0:
+        raise ValueError("factor must be positive")
+    copy, _ = clone_graph(graph, weight_scale=factor)
+    return copy
+
+
+def inject_duplicate_labels(
+    graph: Graph, labels: Sequence[Hashable]
+) -> Tuple[Graph, List[Hashable]]:
+    """Alias every query label onto the exact same node group.
+
+    Returns the rewritten graph and the extended query
+    ``labels + aliases``; the optimal weight is unchanged.
+    """
+    copy, mapping = clone_graph(graph)
+    extended: List[Hashable] = list(labels)
+    for label in labels:
+        alias = f"{label}#dup"
+        for node in graph.nodes_with_label(label):
+            copy.add_labels(mapping[node], [alias])
+        extended.append(alias)
+    return copy, extended
+
+
+def add_disconnected_clutter(
+    graph: Graph, rng: random.Random, num_nodes: int = 5
+) -> Graph:
+    """A fresh component of non-query-labelled nodes glued onto nothing."""
+    copy, _ = clone_graph(graph)
+    fresh = [
+        copy.add_node(labels=[f"clutter:{i}"], name=("clutter", i))
+        for i in range(num_nodes)
+    ]
+    for i in range(1, len(fresh)):
+        copy.add_edge(fresh[i], fresh[rng.randrange(i)], rng.uniform(1.0, 10.0))
+    return copy
+
+
+def metamorphic_checks(
+    graph: Graph,
+    labels: Sequence[Hashable],
+    *,
+    algorithm: str = "pruneddp++",
+    seed: int = 0,
+    base_weight: Optional[float] = None,
+) -> List[str]:
+    """Run every transform; returns the violated invariants (if any).
+
+    ``base_weight`` skips the baseline solve when the caller already has
+    the instance's weight from a differential round.
+    """
+    rng = random.Random(seed)
+    if base_weight is None:
+        base_weight = solve_gst(graph, labels, algorithm=algorithm).weight
+    violations: List[str] = []
+
+    def _compare(name: str, got: float, want: float) -> None:
+        if abs(got - want) > _REL_TOL * max(1.0, abs(want)):
+            violations.append(
+                f"{name}: weight {got!r} != expected {want!r} "
+                f"(base {base_weight!r})"
+            )
+
+    renumbered, _ = renumber_nodes(graph, rng)
+    _compare(
+        "renumber",
+        solve_gst(renumbered, labels, algorithm=algorithm).weight,
+        base_weight,
+    )
+
+    factor = 3.5
+    _compare(
+        "scale",
+        solve_gst(scale_weights(graph, factor), labels, algorithm=algorithm).weight,
+        base_weight * factor,
+    )
+
+    duplicated, extended = inject_duplicate_labels(graph, labels)
+    _compare(
+        "duplicate-labels",
+        solve_gst(duplicated, extended, algorithm=algorithm).weight,
+        base_weight,
+    )
+
+    cluttered = add_disconnected_clutter(graph, rng)
+    _compare(
+        "clutter",
+        solve_gst(cluttered, labels, algorithm=algorithm).weight,
+        base_weight,
+    )
+
+    return violations

@@ -95,3 +95,76 @@ class TestTreeReconstruction:
         store.settle(0, 1, 0.0, ("banana",))
         with pytest.raises(ValueError):
             store.tree_edges(0, 1)
+
+
+class TestReopenSettleInteraction:
+    """Reopening a settled state must fully retire its derivation.
+
+    The engine reopens a settled ``(node, mask)`` when a strictly
+    cheaper derivation appears (the exactness safety net); the state is
+    later re-settled with a *new* backpointer.  Tree reconstruction
+    through that state must follow the new chain — resurrecting the
+    stale one would rebuild a tree that no longer matches the cost.
+    """
+
+    def test_resettle_replaces_backpointer_chain(self):
+        store = StateStore(3)
+        # Stale derivation: (0,{0}) grown from (1,{0}) grown from seed (2,{0}).
+        store.settle(2, 1, 0.0, ("seed", 0))
+        store.settle(1, 1, 5.0, ("grow", 2, 5.0))
+        store.settle(0, 1, 9.0, ("grow", 1, 4.0))
+        assert sorted(store.tree_edges(0, 1)) == [(0, 1, 4.0), (1, 2, 5.0)]
+        # A cheaper derivation reaches (1,{0}): reopen, then re-settle
+        # as a seed.  The old grow-from-2 chain must be gone.
+        store.reopen(1, 1)
+        assert not store.contains(1, 1)
+        with pytest.raises(KeyError):
+            store.backpointer(1, 1)
+        store.settle(1, 1, 0.0, ("seed", 0))
+        assert store.cost(1, 1) == 0.0
+        assert store.tree_edges(1, 1) == []
+        assert store.tree_edges(0, 1) == [(0, 1, 4.0)]
+
+    def test_resettle_at_higher_cost_uses_new_chain(self):
+        # Re-settling at a *higher* cost (possible while the safety net
+        # churns) must likewise not resurrect the stale chain.
+        store = StateStore(4)
+        store.settle(3, 1, 0.0, ("seed", 0))
+        store.settle(2, 1, 1.0, ("grow", 3, 1.0))
+        store.reopen(2, 1)
+        store.settle(0, 1, 0.0, ("seed", 0))
+        store.settle(2, 1, 7.0, ("grow", 0, 7.0))
+        assert store.cost(2, 1) == 7.0
+        assert store.tree_edges(2, 1) == [(2, 0, 7.0)]
+
+    def test_reopened_parent_breaks_descendant_reconstruction(self):
+        # A descendant pointing at a reopened-and-never-resettled parent
+        # must fail loudly (KeyError), not silently rebuild a stale tree.
+        store = StateStore(2)
+        store.settle(1, 1, 0.0, ("seed", 0))
+        store.settle(0, 1, 2.0, ("grow", 1, 2.0))
+        store.reopen(1, 1)
+        with pytest.raises(KeyError):
+            store.tree_edges(0, 1)
+
+    def test_merge_reconstruction_after_part_resettle(self):
+        store = StateStore(2)
+        store.settle(0, 0b01, 3.0, ("grow", 1, 3.0))
+        store.settle(1, 0b01, 0.0, ("seed", 0))
+        store.settle(0, 0b10, 0.0, ("seed", 1))
+        store.settle(0, 0b11, 3.0, ("merge", 0b01, 0b10))
+        assert sorted(store.tree_edges(0, 0b11)) == [(0, 1, 3.0)]
+        # The merge part (0,{0}) is reopened and re-settled as a seed;
+        # the merged state's tree must now be edge-free.
+        store.reopen(0, 0b01)
+        store.settle(0, 0b01, 0.0, ("seed", 0))
+        assert store.tree_edges(0, 0b11) == []
+
+    def test_size_accounting_over_reopen_cycles(self):
+        store = StateStore(2)
+        for _ in range(3):
+            store.settle(0, 1, 1.0, ("seed", 0))
+            assert len(store) == 1
+            store.reopen(0, 1)
+            assert len(store) == 0
+        assert store.peak_size == 1

@@ -290,3 +290,80 @@ class TestBatch:
         ])
         assert code == 2  # nothing succeeded
         assert "skipped" in capsys.readouterr().out
+
+
+class TestVerify:
+    def test_verify_agreeing_instance(self, stored_graph, capsys):
+        stem, _ = stored_graph
+        code = main(["verify", "--graph", stem, "--labels", "q0,q1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tiers agree" in out and "OK" in out
+        # 30 nodes is past the brute-force cutoff; the five solvers run.
+        assert "dpbf" in out and "pruneddp++" in out
+        assert "certified" in out
+
+    def test_verify_quiet_keeps_verdict_only(self, stored_graph, capsys):
+        stem, _ = stored_graph
+        code = main(
+            ["verify", "--graph", stem, "--labels", "q0,q1", "--quiet"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert len(out.strip().splitlines()) == 1
+
+    def test_verify_algorithm_subset(self, stored_graph, capsys):
+        stem, _ = stored_graph
+        code = main([
+            "verify", "--graph", stem, "--labels", "q0,q1",
+            "--algorithm", "dpbf", "--algorithm", "basic",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dpbf" in out and "pruneddp++" not in out
+
+    def test_verify_infeasible_still_agrees(self, tmp_path, capsys):
+        graph = generators.Graph()
+        graph.add_node(labels=["a"])
+        graph.add_node(labels=["b"])
+        stem = str(tmp_path / "islands")
+        save_graph(graph, stem)
+        code = main(["verify", "--graph", stem, "--labels", "a,b"])
+        assert code == 0
+        assert "infeasible" in capsys.readouterr().out
+
+    def test_verify_unknown_label_agrees_infeasible(self, stored_graph, capsys):
+        # Every tier raises the same typed error for an absent label, so
+        # the differential verdict is agreement on infeasibility — not a
+        # crash and not a disagreement.
+        stem, _ = stored_graph
+        code = main(["verify", "--graph", stem, "--labels", "q0,ghost"])
+        assert code == 0
+        assert "infeasible" in capsys.readouterr().out
+
+
+class TestFuzz:
+    def test_fuzz_small_sweep_clean(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "failures")
+        code = main([
+            "fuzz", "--seed", "0", "--rounds", "5", "--max-nodes", "10",
+            "--metamorphic", "5", "--out", out_dir, "--quiet",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "5 rounds" in out and "OK" in out
+
+    def test_fuzz_reports_progress(self, tmp_path, capsys):
+        code = main([
+            "fuzz", "--seed", "0", "--rounds", "4", "--max-nodes", "10",
+            "--out", str(tmp_path / "failures"),
+        ])
+        assert code == 0
+        assert "fuzz:" in capsys.readouterr().err
+
+    def test_fuzz_rejects_bad_rounds(self, tmp_path, capsys):
+        code = main(
+            ["fuzz", "--rounds", "0", "--out", str(tmp_path / "failures")]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

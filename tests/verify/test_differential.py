@@ -1,0 +1,196 @@
+"""Differential runner tests: sweeps, cross-checks, minimization, replay."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import Graph
+from repro.graph.io import load_graph
+from repro.verify import (
+    BRUTE_FORCE_FUZZ_NODES,
+    RoundReport,
+    TierRun,
+    generate_instance,
+    minimize_reproducer,
+    run_round,
+    run_sweep,
+    verify_instance,
+    write_reproducer,
+)
+from repro.verify.differential import _cross_check
+
+INF = float("inf")
+
+
+def test_generate_instance_is_deterministic():
+    g1, labels1 = generate_instance(42)
+    g2, labels2 = generate_instance(42)
+    assert labels1 == labels2
+    assert g1.num_nodes == g2.num_nodes
+    assert sorted(g1.edges()) == sorted(g2.edges())
+    g3, _ = generate_instance(43)
+    assert (g3.num_nodes, sorted(g3.edges())) != (g1.num_nodes, sorted(g1.edges()))
+
+
+def test_generate_instance_respects_caps():
+    for seed in range(30):
+        graph, labels = generate_instance(seed, max_nodes=10, max_labels=3)
+        assert 4 <= graph.num_nodes <= 10
+        assert 2 <= len(labels) <= 3
+
+
+def test_round_runs_all_applicable_tiers():
+    report = run_round(0, max_nodes=BRUTE_FORCE_FUZZ_NODES)
+    assert report.ok, (report.disagreement, report.violations)
+    assert set(report.runs) == {
+        "bruteforce", "dpbf", "basic", "pruneddp", "pruneddp+", "pruneddp++",
+    }
+
+
+def test_bruteforce_skipped_on_large_instances():
+    graph, labels = generate_instance(0)
+    big = Graph()
+    for _ in range(BRUTE_FORCE_FUZZ_NODES + 2):
+        big.add_node(labels=["x"])
+    for i in range(1, big.num_nodes):
+        big.add_edge(i - 1, i, 1.0)
+    report = verify_instance(big, ["x"])
+    assert "bruteforce" not in report.runs
+    assert report.ok
+
+
+def test_small_sweep_is_clean(tmp_path):
+    sweep = run_sweep(
+        12, seed=0, metamorphic_every=6, reproducer_dir=str(tmp_path)
+    )
+    assert sweep.ok, [f.disagreement or f.violations for f in sweep.failures]
+    assert sweep.rounds == 12
+    assert sweep.certified > 0
+    assert not list(tmp_path.iterdir())  # nothing failed, nothing written
+
+
+def test_epsilon_sweep_is_clean():
+    sweep = run_sweep(8, seed=100, epsilon=0.5)
+    assert sweep.ok, [f.disagreement or f.violations for f in sweep.failures]
+
+
+def test_unknown_tier_rejected(path_graph):
+    with pytest.raises(ValueError):
+        verify_instance(path_graph, ["x", "y"], algorithms=["nope"])
+
+
+def test_cross_check_flags_weight_disagreement():
+    report = RoundReport(seed=0, num_nodes=3, num_edges=2, labels=("x",))
+    report.runs["dpbf"] = TierRun(algorithm="dpbf", weight=3.0)
+    report.runs["basic"] = TierRun(algorithm="basic", weight=4.0)
+    _cross_check(report, epsilon=0.0)
+    assert report.disagreement is not None
+    assert "weight disagreement" in report.disagreement
+
+
+def test_cross_check_flags_feasibility_disagreement():
+    report = RoundReport(seed=0, num_nodes=3, num_edges=2, labels=("x",))
+    report.runs["dpbf"] = TierRun(algorithm="dpbf", weight=3.0)
+    report.runs["basic"] = TierRun(
+        algorithm="basic", weight=INF, infeasible=True
+    )
+    _cross_check(report, epsilon=0.0)
+    assert report.disagreement is not None
+    assert "feasibility" in report.disagreement
+
+
+def test_cross_check_allows_epsilon_slack():
+    report = RoundReport(seed=0, num_nodes=3, num_edges=2, labels=("x",))
+    report.runs["dpbf"] = TierRun(algorithm="dpbf", weight=10.0)
+    report.runs["basic"] = TierRun(algorithm="basic", weight=14.0)
+    _cross_check(report, epsilon=0.5)
+    assert report.disagreement is None
+    report.runs["pruneddp"] = TierRun(algorithm="pruneddp", weight=16.0)
+    _cross_check(report, epsilon=0.5)
+    assert report.disagreement is not None
+
+
+def test_minimizer_shrinks_while_failure_persists():
+    # Synthetic failure oracle: "fails" whenever the graph still contains
+    # the specific edge (0, 1) and the query still contains "x".
+    graph = Graph()
+    for i in range(6):
+        graph.add_node(labels=["x"] if i < 2 else ["pad"])
+    graph.add_edge(0, 1, 1.0)
+    graph.add_edge(1, 2, 1.0)
+    graph.add_edge(2, 3, 1.0)
+    graph.add_edge(3, 4, 1.0)
+    graph.add_edge(4, 5, 1.0)
+
+    def failing(g, labels):
+        return "x" in labels and any(
+            {u, v} == {0, 1} for u, v, _ in g.edges()
+        )
+
+    small, labels = minimize_reproducer(graph, ["x", "pad"], failing)
+    assert failing(small, labels)
+    assert labels == ["x"]
+    assert small.num_edges == 1
+    assert small.num_nodes == 2
+
+
+def test_minimizer_returns_input_when_not_failing(path_graph):
+    graph, labels = minimize_reproducer(
+        path_graph, ["x", "y"], lambda g, l: False
+    )
+    assert graph is path_graph
+    assert labels == ["x", "y"]
+
+
+def test_reproducer_round_trips(tmp_path):
+    graph, labels = generate_instance(5, max_nodes=10)
+    report = RoundReport(
+        seed=5,
+        num_nodes=graph.num_nodes,
+        num_edges=graph.num_edges,
+        labels=tuple(labels),
+        disagreement="synthetic",
+    )
+    report.runs["dpbf"] = TierRun(algorithm="dpbf", weight=3.0)
+    report.runs["basic"] = TierRun(algorithm="basic", weight=INF)
+    stem = write_reproducer(graph, labels, report, str(tmp_path))
+    reloaded = load_graph(stem)
+    assert reloaded.num_nodes == graph.num_nodes
+    assert sorted(reloaded.edges()) == sorted(graph.edges())
+    with open(stem + ".json", encoding="utf-8") as fh:
+        record = json.load(fh)
+    assert record["disagreement"] == "synthetic"
+    assert record["weights"] == {"dpbf": 3.0, "basic": "inf"}
+    assert "repro verify" in record["replay"]
+    # The replayed instance gets the same verdict structure.
+    replay = verify_instance(reloaded, record["labels"])
+    assert set(replay.runs)
+
+
+def test_broken_tier_is_caught_end_to_end(monkeypatch):
+    # Sabotage one tier and make sure a real sweep round catches it:
+    # the strongest possible test of the harness itself.
+    import repro.verify.differential as differential
+
+    real_solve = differential.solve_gst
+
+    def sabotaged(graph, labels, *, algorithm="pruneddp++", **kwargs):
+        result = real_solve(graph, labels, algorithm=algorithm, **kwargs)
+        if algorithm == "basic" and result.weight < INF:
+            result.weight *= 2.0  # wrong answer, tree untouched
+        return result
+
+    monkeypatch.setattr(differential, "solve_gst", sabotaged)
+    failed = []
+    for seed in range(10):
+        report = run_round(seed, max_nodes=10)
+        if not report.ok:
+            failed.append(report)
+    assert failed, "sabotaged tier was never caught"
+    # Both detection layers fire: the certifier (weight != tree) and
+    # the cross-check (tiers disagree).
+    assert any(r.disagreement for r in failed) or all(
+        r.violations for r in failed
+    )

@@ -1,0 +1,112 @@
+"""Metamorphic transform tests: each rewrite has a known-exact effect."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.solver import solve_gst
+from repro.graph import generators
+from repro.verify import (
+    add_disconnected_clutter,
+    clone_graph,
+    inject_duplicate_labels,
+    metamorphic_checks,
+    renumber_nodes,
+    scale_weights,
+)
+
+
+@pytest.fixture
+def instance():
+    # seed 13 gives a strictly positive optimum (~8.14), so the scaled /
+    # doubled-reference comparisons below cannot pass vacuously.
+    graph = generators.random_graph(
+        16, 32, num_query_labels=3, label_frequency=3, seed=13
+    )
+    return graph, ["q0", "q1", "q2"]
+
+
+def test_clone_graph_is_faithful(instance):
+    graph, _ = instance
+    copy, mapping = clone_graph(graph)
+    assert copy.num_nodes == graph.num_nodes
+    assert copy.num_edges == graph.num_edges
+    assert mapping == {i: i for i in range(graph.num_nodes)}
+    for node in range(graph.num_nodes):
+        assert copy.labels_of(node) == graph.labels_of(node)
+    assert sorted(copy.edges()) == sorted(graph.edges())
+
+
+def test_clone_graph_skip_edge_and_subset(instance):
+    graph, _ = instance
+    u, v, _w = next(iter(graph.edges()))
+    pruned, _ = clone_graph(graph, skip_edge=(v, u))  # order-insensitive
+    assert pruned.num_edges == graph.num_edges - 1
+
+    keep = list(range(0, graph.num_nodes, 2))
+    subset, mapping = clone_graph(graph, keep_nodes=keep)
+    assert subset.num_nodes == len(keep)
+    assert set(mapping) == set(keep)
+    kept = set(keep)
+    expected = sum(1 for a, b, _ in graph.edges() if a in kept and b in kept)
+    assert subset.num_edges == expected
+
+
+def test_renumber_preserves_optimum(instance):
+    graph, labels = instance
+    base = solve_gst(graph, labels).weight
+    renumbered, mapping = renumber_nodes(graph, random.Random(3))
+    assert sorted(mapping.values()) == list(range(graph.num_nodes))
+    assert solve_gst(renumbered, labels).weight == pytest.approx(base)
+
+
+def test_scale_weights_scales_optimum(instance):
+    graph, labels = instance
+    base = solve_gst(graph, labels).weight
+    scaled = scale_weights(graph, 2.5)
+    assert solve_gst(scaled, labels).weight == pytest.approx(2.5 * base)
+    with pytest.raises(ValueError):
+        scale_weights(graph, 0.0)
+
+
+def test_duplicate_labels_preserve_optimum(instance):
+    graph, labels = instance
+    base = solve_gst(graph, labels).weight
+    duplicated, extended = inject_duplicate_labels(graph, labels)
+    assert len(extended) == 2 * len(labels)
+    for label in labels:
+        alias = f"{label}#dup"
+        assert sorted(duplicated.nodes_with_label(alias)) == sorted(
+            graph.nodes_with_label(label)
+        )
+    assert solve_gst(duplicated, extended).weight == pytest.approx(base)
+
+
+def test_clutter_preserves_optimum(instance):
+    graph, labels = instance
+    base = solve_gst(graph, labels).weight
+    cluttered = add_disconnected_clutter(graph, random.Random(5), num_nodes=6)
+    assert cluttered.num_nodes == graph.num_nodes + 6
+    assert solve_gst(cluttered, labels).weight == pytest.approx(base)
+
+
+def test_metamorphic_checks_clean_on_every_tier(instance):
+    graph, labels = instance
+    for algorithm in ("dpbf", "basic", "pruneddp", "pruneddp+", "pruneddp++"):
+        violations = metamorphic_checks(
+            graph, labels, algorithm=algorithm, seed=0
+        )
+        assert violations == [], (algorithm, violations)
+
+
+def test_metamorphic_checks_flag_wrong_base_weight(instance):
+    # Feeding a wrong reference weight must trip every invariant that
+    # compares against it — proves the checks are not vacuous.
+    graph, labels = instance
+    base = solve_gst(graph, labels).weight
+    violations = metamorphic_checks(graph, labels, base_weight=base * 2.0)
+    assert violations
+    names = {v.split(":", 1)[0] for v in violations}
+    assert {"renumber", "scale", "duplicate-labels", "clutter"} <= names
