@@ -78,6 +78,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="emit the full result record as JSON")
     solve.add_argument("--dot", action="store_true",
                        help="emit the answer tree as Graphviz DOT")
+    solve.add_argument("--profile", action="store_true",
+                       help="run the solve under cProfile and print the top "
+                            "25 functions by cumulative time to stderr")
     solve.add_argument("--chart", action="store_true",
                        help="draw the UB/LB convergence chart")
     solve.add_argument("--store", default=None, metavar="PATH",
@@ -307,14 +310,28 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             solver_kwargs["epsilon"] = args.epsilon
         if on_progress is not None:
             solver_kwargs["on_progress"] = on_progress
-    if args.store is not None:
-        index = _index_with_store(graph, args.store)
-        result = index.solve(labels, algorithm=args.algorithm, **solver_kwargs)
-        index.save_results()
-    else:
-        result = solve_gst(
-            graph, labels, algorithm=args.algorithm, **solver_kwargs
-        )
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+    try:
+        if args.store is not None:
+            index = _index_with_store(graph, args.store)
+            result = index.solve(labels, algorithm=args.algorithm, **solver_kwargs)
+            index.save_results()
+        else:
+            result = solve_gst(
+                graph, labels, algorithm=args.algorithm, **solver_kwargs
+            )
+    finally:
+        if profiler is not None:
+            import pstats
+
+            profiler.disable()
+            stats = pstats.Stats(profiler, stream=sys.stderr)
+            stats.strip_dirs().sort_stats("cumulative").print_stats(25)
     if args.json:
         import json
 

@@ -22,7 +22,7 @@ arrive, which keeps every cached value admissible — Section 4.2).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional
 
 from .allpaths import RouteTables
 from .context import QueryContext
@@ -49,7 +49,9 @@ class LowerBounds:
         "use_tour1",
         "use_tour2",
         "_cache",
+        "_bits",
         "full_mask",
+        "key_bits",
         "evaluations",
         "max_entries",
         "hits",
@@ -76,8 +78,15 @@ class LowerBounds:
         self.use_one_label = use_one_label
         self.use_tour1 = use_tour1
         self.use_tour2 = use_tour2
-        self._cache: Dict[Tuple[int, int], float] = {}
+        # Memo keyed by packed ``node << key_bits | covered_mask`` ints —
+        # the same packing the engine uses for queue/store keys, so the
+        # fast loop shares one key value across all three structures.
+        self._cache: Dict[int, float] = {}
+        # mask -> tuple of set bit positions; at most 2^k entries, each
+        # tiny, and it removes a generator per cache miss.
+        self._bits: Dict[int, tuple] = {}
         self.full_mask = context.full_mask
+        self.key_bits = context.k
         self.evaluations = 0
         # ``max_entries`` bounds the (node, mask) memo so a long search
         # cannot grow it without limit; evicting is always *safe* —
@@ -94,7 +103,7 @@ class LowerBounds:
         missing = self.full_mask & ~covered_mask
         if missing == 0:
             return 0.0
-        key = (node, covered_mask)
+        key = (node << self.key_bits) | covered_mask
         cached = self._cache.get(key)
         if cached is not None:
             self.hits += 1
@@ -104,7 +113,7 @@ class LowerBounds:
         self._insert(key, value)
         return value
 
-    def _insert(self, key: Tuple[int, int], value: float) -> None:
+    def _insert(self, key: int, value: float) -> None:
         cache = self._cache
         if self.max_entries is not None and len(cache) >= self.max_entries:
             # Drop the oldest-inserted entry (O(1) via dict ordering):
@@ -126,7 +135,7 @@ class LowerBounds:
             return 0.0
         current = self.pi(node, covered_mask)
         if value > current:
-            self._cache[(node, covered_mask)] = value
+            self._cache[(node << self.key_bits) | covered_mask] = value
             return value
         return current
 
@@ -134,7 +143,10 @@ class LowerBounds:
     def _evaluate(self, node: int, missing: int) -> float:
         self.evaluations += 1
         dist = self.context.dist
-        bits = list(iter_bits(missing))
+        bits = self._bits.get(missing)
+        if bits is None:
+            bits = tuple(iter_bits(missing))
+            self._bits[missing] = bits
 
         best = 0.0
         if self.use_one_label:

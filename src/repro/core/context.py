@@ -42,6 +42,8 @@ class QueryContext:
         "parent",
         "node_masks",
         "build_seconds",
+        "snapshot",
+        "kernel",
     )
 
     def __init__(
@@ -53,6 +55,8 @@ class QueryContext:
         parent: List[List[int]],
         node_masks: List[int],
         build_seconds: float,
+        snapshot=None,
+        kernel: str = "legacy",
     ) -> None:
         self.graph = graph
         self.query = query
@@ -61,6 +65,11 @@ class QueryContext:
         self.parent = parent        # parent[i][v] = next hop toward V_{p_i}
         self.node_masks = node_masks  # query-label bitmask per node
         self.build_seconds = build_seconds
+        # The frozen CSRGraph in effect when the context was built (None
+        # for an unfrozen graph) and the kernel family it implies; the
+        # engine dispatches its fast loop on these.
+        self.snapshot = snapshot
+        self.kernel = kernel
 
     @classmethod
     def build(
@@ -81,6 +90,7 @@ class QueryContext:
                 "caches cannot be shared across graphs (or components)"
             )
         started = time.perf_counter()
+        snapshot = graph.snapshot()
         groups = query.groups(graph)
         dist: List[List[float]] = []
         parent: List[List[int]] = []
@@ -104,6 +114,8 @@ class QueryContext:
             parent,
             node_masks,
             time.perf_counter() - started,
+            snapshot,
+            "csr" if snapshot is not None else "legacy",
         )
 
     # ------------------------------------------------------------------

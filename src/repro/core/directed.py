@@ -249,7 +249,7 @@ class DirectedGSTSolver:
         trace: List[ProgressPoint] = []
         queue = IndexedHeap()
         pending: Dict[Tuple[int, int], Tuple[float, tuple]] = {}
-        store = StateStore(graph.num_nodes)
+        store = StateStore(graph.num_nodes, k)
         in_adjacency = graph.in_adjacency()
 
         best = INF

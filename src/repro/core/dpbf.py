@@ -85,15 +85,21 @@ class DPBFSolver:
         stats = SearchStats(init_seconds=context.build_seconds)
 
         full = context.full_mask
+        # Queue/pending keys are packed ``node << k | mask`` ints (the
+        # same scheme as repro.core.state.pack_state), kept inline here
+        # so DPBF stays a genuinely independent cross-check of the
+        # progressive engine.
+        kb = context.k
+        mask_filter = (1 << kb) - 1
         adjacency = self.graph.adjacency()
         queue = IndexedHeap()
-        pending: Dict[Tuple[int, int], tuple] = {}
-        store = StateStore(self.graph.num_nodes)
+        pending: Dict[int, tuple] = {}
+        store = StateStore(self.graph.num_nodes, kb)
 
         def push(node: int, mask: int, cost: float, backpointer: tuple) -> None:
             if store.contains(node, mask):
                 return
-            key = (node, mask)
+            key = (node << kb) | mask
             old = pending.get(key)
             if old is not None and old[0] <= cost:
                 return
@@ -121,7 +127,8 @@ class DPBFSolver:
                 interrupted = True
                 break
             key, cost = queue.pop()
-            node, mask = key
+            node = key >> kb
+            mask = key & mask_filter
             backpointer = pending.pop(key)[1]
             stats.states_popped += 1
             if mask == full:

@@ -44,7 +44,11 @@ from ..errors import LimitExceededError
 from ..graph.heap import IndexedHeap
 from .bounds import LowerBounds
 from .context import QueryContext
-from .feasible import build_feasible_tree, steiner_tree_from_edges
+from .feasible import (
+    build_feasible_tree,
+    prune_redundant_leaves,
+    steiner_tree_from_edges,
+)
 from .result import GSTResult, ProgressPoint, SearchStats
 from .state import StateStore
 from .tree import SteinerTree
@@ -109,10 +113,19 @@ class SearchEngine:
         )
         self.trace: List[ProgressPoint] = []
 
+        # Queue/pending keys are ``(node, mask)`` tuples in the legacy
+        # loop and packed ``node << k | mask`` ints in the CSR fast loop
+        # (the store packs its backpointers the same way either way).
         self._queue = IndexedHeap()
-        self._pending: Dict[Tuple[int, int], Tuple[float, tuple]] = {}
-        self._store = StateStore(context.graph.num_nodes)
+        self._pending: Dict[object, Tuple[float, tuple]] = {}
+        self._store = StateStore(context.graph.num_nodes, context.k)
         self._full = context.full_mask
+        self.kernel = context.kernel
+        # CSR-loop memos: materialized shortest-path pieces per
+        # (label, node), and signatures of feasible-tree unions already
+        # refined (see ``_build_feasible_csr``).
+        self._path_pieces: Dict[int, Optional[tuple]] = {}
+        self._union_seen: set = set()
         self._best = INF
         self._best_tree: Optional[SteinerTree] = None
         self._global_lb = 0.0
@@ -123,7 +136,23 @@ class SearchEngine:
     # Public entry point
     # ------------------------------------------------------------------
     def run(self) -> GSTResult:
-        """Execute the search and return the (possibly anytime) result."""
+        """Execute the search and return the (possibly anytime) result.
+
+        Dispatches on the query context: a frozen graph (``snapshot``
+        present) takes the packed-key CSR fast loop, an unfrozen graph
+        takes the original tuple-keyed loop.  The two are semantically
+        identical — the legacy loop is kept verbatim as the differential
+        reference (``repro.verify`` pins agreement) — and differ only in
+        mechanics: single-int state keys, snapshot adjacency views, a
+        π₁ gate in front of redundant feasible-tree constructions, and
+        sampled instead of per-push peak tracking.
+        """
+        if self.context.snapshot is not None:
+            return self._run_csr()
+        return self._run_legacy()
+
+    def _run_legacy(self) -> GSTResult:
+        """The original tuple-keyed search loop (reference semantics)."""
         self._started = time.perf_counter() - self.stats.init_seconds
         self._emit("search_started", algorithm=self.algorithm_name)
         if self.cancel_token is not None and self.cancel_token.cancelled:
@@ -215,6 +244,238 @@ class SearchEngine:
             optimal=optimal,
             elapsed=self.stats.total_seconds,
             states_popped=self.stats.states_popped,
+            best_weight=self._best,
+        )
+        return GSTResult(
+            algorithm=self.algorithm_name,
+            labels=self.context.query.labels,
+            tree=self._best_tree,
+            weight=self._best,
+            lower_bound=self._best if optimal else min(self._global_lb, self._best),
+            optimal=optimal,
+            stats=self.stats,
+            trace=self.trace,
+        )
+
+    # ------------------------------------------------------------------
+    # CSR fast loop
+    # ------------------------------------------------------------------
+    def _run_csr(self) -> GSTResult:
+        """Packed-key search loop over a frozen snapshot.
+
+        Hot-path mechanics (all behavior-preserving):
+
+        * state keys are single ints ``node << k | mask`` shared by the
+          queue, the pending map, the settled store, and the bound cache
+          — no tuple allocation or composite hashing per touch;
+        * adjacency comes from the snapshot's immutable per-node tuple
+          views (no method call, no defensive copy);
+        * the ``update`` procedure is a closure over local bindings
+          instead of a bound method;
+        * feasible-tree construction memoizes shortest-path pieces and
+          skips re-refining a union of edges it has already refined
+          (:meth:`_build_feasible_csr`) — an *exact* dedup, so the
+          incumbent trajectory is unchanged.  The top-r collector
+          (``on_feasible``) bypasses the memo so every candidate still
+          materializes;
+        * peak-size tracking is sampled at the limit-check interval
+          rather than per push.
+        """
+        self._started = time.perf_counter() - self.stats.init_seconds
+        self._emit("search_started", algorithm=self.algorithm_name)
+        if self.cancel_token is not None and self.cancel_token.cancelled:
+            self.stats.cancelled = True
+            self.stats.total_seconds = self._elapsed()
+            self._record_progress(force=True)
+            self._emit("search_cancelled", elapsed=self.stats.total_seconds)
+            return GSTResult(
+                algorithm=self.algorithm_name,
+                labels=self.context.query.labels,
+                tree=None,
+                weight=INF,
+                lower_bound=0.0,
+                optimal=False,
+                stats=self.stats,
+                trace=self.trace,
+            )
+
+        context = self.context
+        kb = context.k
+        mask_filter = (1 << kb) - 1
+        full = self._full
+        store = self._store
+        store_cost = store._cost
+        pending = self._pending
+        queue = self._queue
+        queue_update = queue.update
+        queue_pop = queue.pop
+        pending_pop = pending.pop
+        bounds = self.bounds
+        raise_bound = bounds.raise_to if bounds is not None else None
+        has_bounds = bounds is not None
+        adjacency = context.snapshot.adjacency
+        stats = self.stats
+        eps = _COST_EPS
+        merge_factor = self.merge_factor
+        prune_half = self.prune_half
+        complement_shortcut = self.complement_shortcut
+        progressive = self.progressive
+        on_feasible = self.on_feasible
+
+        pops = 0
+        pushes = 0
+        expanded = 0
+        grown = 0
+        merges = 0
+
+        def update(node, mask, cost, backpointer, parent_f):
+            # Inlined twin of ``_update`` (Alg 1 lines 21-26 / Alg 4
+            # 28-36) over packed keys; reads ``self._best`` fresh so
+            # mid-expansion incumbent drops tighten pruning immediately.
+            nonlocal pushes
+            settled = store_cost[node].get(mask)
+            if settled is not None:
+                if cost >= settled - eps:
+                    return
+                store.reopen(node, mask)
+                stats.reopened += 1
+            if raise_bound is not None:
+                f_value = cost + raise_bound(node, mask, parent_f - cost)
+            else:
+                f_value = cost
+            if f_value >= self._best:
+                return
+            if mask == full and cost < self._best - eps:
+                self._adopt_best_state(node, mask, cost, backpointer)
+            key = (node << kb) | mask
+            existing = pending.get(key)
+            if existing is not None and existing[0] <= cost + eps:
+                return
+            if existing is None:
+                pushes += 1
+            pending[key] = (cost, backpointer)
+            queue_update(key, f_value)
+
+        for label_index, members in enumerate(context.groups):
+            bit = 1 << label_index
+            seed_bp = ("seed", label_index)
+            for node in members:
+                update(node, bit, 0.0, seed_bp, 0.0)
+        self._track_peak()
+
+        optimal = False
+        pops_since_check = 0
+        try:
+            while queue:
+                pops_since_check += 1
+                if pops_since_check >= _LIMIT_CHECK_INTERVAL:
+                    pops_since_check = 0
+                    stats.states_popped = pops
+                    self._track_peak()
+                    if self._limits_hit():
+                        break
+                if self._epsilon_satisfied():
+                    optimal = self.epsilon == 0.0 or self._best <= 0.0
+                    break
+
+                key, f_value = queue_pop()
+                node = key >> kb
+                mask = key & mask_filter
+                cost, backpointer = pending_pop(key)
+                pops += 1
+                self._raise_global_lb(f_value if has_bounds else cost)
+
+                if mask == full:
+                    # Goal popped: its cost is the proven optimum.
+                    if cost < self._best - eps:
+                        self._adopt_best_state(node, mask, cost, backpointer)
+                    store.settle(node, mask, cost, backpointer)
+                    self._raise_global_lb(self._best)
+                    optimal = True
+                    break
+
+                store.settle(node, mask, cost, backpointer)
+
+                if progressive:
+                    if on_feasible is not None:
+                        self._build_feasible(node, mask, cost, backpointer)
+                    elif cost < self._best:
+                        self._build_feasible_csr(node, mask, cost)
+
+                parent_f = f_value if has_bounds else cost
+
+                if complement_shortcut:
+                    complement = full ^ mask
+                    complement_cost = store_cost[node].get(complement)
+                    if complement_cost is not None:
+                        update(
+                            node,
+                            full,
+                            cost + complement_cost,
+                            ("merge", mask, complement),
+                            parent_f,
+                        )
+                        continue  # Algorithm 2 line 18
+
+                if prune_half and cost >= self._best / 2.0:
+                    continue  # Theorem 1: no expansion needed
+
+                expanded += 1
+                for neighbor, weight in adjacency[node]:
+                    grown += 1
+                    update(
+                        neighbor,
+                        mask,
+                        cost + weight,
+                        ("grow", node, weight),
+                        parent_f,
+                    )
+                best = self._best
+                merge_budget = (
+                    merge_factor * best
+                    if merge_factor is not None and best < INF
+                    else INF
+                )
+                # list() copy: a reopen inside update() mutates this dict.
+                for other_mask, other_cost in list(store_cost[node].items()):
+                    if other_mask & mask:
+                        continue
+                    combined = cost + other_cost
+                    new_mask = mask | other_mask
+                    if new_mask != full and combined > merge_budget:
+                        continue  # Theorem 2: unpromising partial merge
+                    merges += 1
+                    update(
+                        node,
+                        new_mask,
+                        combined,
+                        ("merge", mask, other_mask),
+                        parent_f,
+                    )
+            else:
+                # Queue drained without popping a goal: every alternative
+                # was pruned against `best`, so the best feasible answer
+                # is optimal (provided one exists at all).
+                if self._best < INF:
+                    optimal = True
+                    self._raise_global_lb(self._best)
+        finally:
+            stats.states_popped = pops
+            stats.states_pushed = pushes
+            stats.states_expanded = expanded
+            stats.edges_grown = grown
+            stats.merges_performed = merges
+
+        if self._best < INF and self._global_lb >= self._best - eps:
+            optimal = True
+        self._track_peak()
+        stats.total_seconds = self._elapsed()
+        self._record_progress(force=True)
+        self._emit(
+            "search_finished",
+            optimal=optimal,
+            elapsed=stats.total_seconds,
+            states_popped=stats.states_popped,
             best_weight=self._best,
         )
         return GSTResult(
@@ -331,6 +592,70 @@ class SearchEngine:
             return
         if self.on_feasible is not None:
             self.on_feasible(tree)
+        if tree.weight < self._best - _COST_EPS:
+            self._best = tree.weight
+            self._best_tree = tree
+            self._clamp_stale_lb()
+            self._emit("new_best", weight=tree.weight, elapsed=self._elapsed())
+            self._record_progress()
+            if self.debug_certify:
+                self._certify_incumbent()
+
+    def _build_feasible_csr(self, node: int, mask: int, cost: float) -> None:
+        """Memoized feasible construction for the CSR fast loop.
+
+        Same output as :meth:`_build_feasible` with two exact
+        accelerations:
+
+        * the shortest-path edge walk from ``v`` toward each missing
+          group depends only on ``(label, v)`` and is cached across
+          pops (the parent trees are fixed for the whole query);
+        * the union of state edges + path pieces is signatured; a union
+          already refined earlier in the run would produce the *same*
+          tree, whose weight was already compared against an incumbent
+          that has only decreased since — so duplicates skip the
+          MST/prune refinement with zero effect on the trajectory.
+        """
+        started = time.perf_counter()
+        state_edges = self._store.tree_edges(node, mask)
+        pieces = self._path_pieces
+        context = self.context
+        kb = self._store.key_bits
+        missing = self._full & ~mask
+        union: List[tuple] = list(state_edges)
+        m = missing
+        while m:
+            low = m & -m
+            m ^= low
+            label_index = low.bit_length() - 1
+            key = (node << kb) | label_index
+            piece = pieces.get(key, False)
+            if piece is False:
+                if context.dist[label_index][node] == INF:
+                    piece = None
+                else:
+                    piece = tuple(
+                        context.shortest_path_edges(label_index, node)
+                    )
+                pieces[key] = piece
+            if piece is None:
+                # Missing label unreachable: no feasible tree here.
+                self.stats.feasible_seconds += time.perf_counter() - started
+                return
+            union.extend(piece)
+
+        signature = frozenset(
+            (u, v) if u < v else (v, u) for u, v, _ in union
+        )
+        if signature in self._union_seen:
+            self.stats.feasible_seconds += time.perf_counter() - started
+            return
+        self._union_seen.add(signature)
+
+        tree = steiner_tree_from_edges(union, anchor=node)
+        tree = prune_redundant_leaves(context, tree)
+        self.stats.feasible_built += 1
+        self.stats.feasible_seconds += time.perf_counter() - started
         if tree.weight < self._best - _COST_EPS:
             self._best = tree.weight
             self._best_tree = tree

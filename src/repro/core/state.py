@@ -21,9 +21,32 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional, Tuple
 
-__all__ = ["StateStore", "iter_bits", "popcount"]
+__all__ = ["StateStore", "iter_bits", "popcount", "pack_state", "unpack_state"]
 
 Backpointer = Tuple  # ('seed', i) | ('grow', u, w) | ('merge', m1, m2)
+
+# Default width of the mask field in a packed state key.  32 bits is far
+# above any real query (MAX_ALLPATHS_LABELS is 14 and the paper's k
+# tops out well below 32), so the default keeps packing transparent for
+# callers that construct a store without announcing their k.
+DEFAULT_KEY_BITS = 32
+
+
+def pack_state(node: int, mask: int, key_bits: int = DEFAULT_KEY_BITS) -> int:
+    """Pack ``(node, mask)`` into one int: ``node << key_bits | mask``.
+
+    The engines key their queues, settled sets, and bound caches by
+    packed ints instead of ``(node, mask)`` tuples — one small-int hash
+    instead of a tuple allocation + composite hash per touch.  ``mask``
+    must fit in ``key_bits`` bits (the engines pass ``key_bits =
+    len(query)``, the exact mask width).
+    """
+    return (node << key_bits) | mask
+
+
+def unpack_state(key: int, key_bits: int = DEFAULT_KEY_BITS) -> Tuple[int, int]:
+    """Inverse of :func:`pack_state`: recover ``(node, mask)``."""
+    return key >> key_bits, key & ((1 << key_bits) - 1)
 
 
 def iter_bits(mask: int) -> Iterator[int]:
@@ -45,15 +68,19 @@ except AttributeError:  # pragma: no cover - Python 3.9 fallback
 class StateStore:
     """Settled DP states (the paper's ``D``) with tree reconstruction."""
 
-    __slots__ = ("_cost", "_backpointer", "_size", "_peak")
+    __slots__ = ("_cost", "_backpointer", "_size", "_peak", "key_bits")
 
-    def __init__(self, num_nodes: int) -> None:
+    def __init__(self, num_nodes: int, key_bits: int = DEFAULT_KEY_BITS) -> None:
         # Per-node dicts keep the merge scan ("all settled masks at v")
-        # allocation-free and O(#masks at v).
+        # allocation-free and O(#masks at v).  Backpointers are keyed by
+        # packed ``node << key_bits | mask`` ints; engines that share the
+        # store's ``key_bits`` can address ``_backpointer`` without
+        # building tuples.
         self._cost: List[Dict[int, float]] = [dict() for _ in range(num_nodes)]
-        self._backpointer: Dict[Tuple[int, int], Backpointer] = {}
+        self._backpointer: Dict[int, Backpointer] = {}
         self._size = 0
         self._peak = 0
+        self.key_bits = key_bits
 
     # ------------------------------------------------------------------
     # Mutation
@@ -66,13 +93,13 @@ class StateStore:
             if self._size > self._peak:
                 self._peak = self._size
         bucket[mask] = cost
-        self._backpointer[(node, mask)] = backpointer
+        self._backpointer[(node << self.key_bits) | mask] = backpointer
 
     def reopen(self, node: int, mask: int) -> None:
         """Remove a settled state (safety net for inconsistent bounds)."""
         if self._cost[node].pop(mask, None) is not None:
             self._size -= 1
-        self._backpointer.pop((node, mask), None)
+        self._backpointer.pop((node << self.key_bits) | mask, None)
 
     # ------------------------------------------------------------------
     # Lookup
@@ -92,7 +119,7 @@ class StateStore:
         return self._cost[node]
 
     def backpointer(self, node: int, mask: int) -> Backpointer:
-        return self._backpointer[(node, mask)]
+        return self._backpointer[(node << self.key_bits) | mask]
 
     def __len__(self) -> int:
         return self._size
@@ -126,10 +153,11 @@ class StateStore:
             ]
         else:
             stack = [(node, mask, None)]
+        key_bits = self.key_bits
         while stack:
             v, m, bp = stack.pop()
             if bp is None:
-                bp = self._backpointer[(v, m)]
+                bp = self._backpointer[(v << key_bits) | m]
             kind = bp[0]
             if kind == "seed":
                 continue

@@ -18,6 +18,7 @@ from typing import Optional
 __all__ = [
     "ReproError",
     "GraphError",
+    "NodeRangeError",
     "QueryError",
     "InfeasibleQueryError",
     "LimitExceededError",
@@ -43,6 +44,15 @@ class GraphError(ReproError):
     with a negative weight, or running a pruned solver on a graph with
     non-positive edge weights (PrunedDP's optimal-tree decomposition
     theorem requires strictly positive weights).
+    """
+
+
+class NodeRangeError(GraphError, IndexError):
+    """A node id lies outside the graph's ``0..n-1`` id space.
+
+    Subclasses both :class:`GraphError` (the package's typed hierarchy)
+    and ``IndexError`` so callers that historically caught the bare
+    ``IndexError`` from the shortest-path kernels keep working.
     """
 
 

@@ -60,6 +60,8 @@ class Graph:
         "_num_edges",
         "_total_weight",
         "_min_weight",
+        "_edge_pos",
+        "_snapshot",
     )
 
     def __init__(self) -> None:
@@ -68,9 +70,17 @@ class Graph:
         self._groups: Dict[Label, List[int]] = {}
         self._names: List[Optional[Hashable]] = []
         self._name_to_id: Dict[Hashable, int] = {}
+        # (u, v) -> position of v inside _adj[u], kept for both edge
+        # directions.  Positions are stable because edges are never
+        # deleted, so duplicate-edge collapse and edge_weight are O(1)
+        # instead of an O(deg) adjacency scan.
+        self._edge_pos: Dict[Tuple[int, int], int] = {}
         self._num_edges = 0
         self._total_weight = 0.0
         self._min_weight = float("inf")
+        # Immutable CSR snapshot (see repro.graph.csr); built by
+        # freeze(), dropped by any mutation.
+        self._snapshot = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -91,6 +101,7 @@ class Graph:
             if name in self._name_to_id:
                 raise GraphError(f"duplicate node name: {name!r}")
             self._name_to_id[name] = node
+        self._snapshot = None
         self._adj.append([])
         label_set = frozenset(labels)
         self._labels.append(label_set)
@@ -105,6 +116,7 @@ class Graph:
         new = frozenset(labels) - self._labels[node]
         if not new:
             return
+        self._snapshot = None
         self._labels[node] = self._labels[node] | new
         for label in new:
             self._groups.setdefault(label, []).append(node)
@@ -123,14 +135,19 @@ class Graph:
         weight = float(weight)
         if not (weight >= 0.0) or weight == float("inf"):
             raise GraphError(f"edge weight must be finite and >= 0, got {weight!r}")
-        existing = self._edge_weight(u, v)
-        if existing is not None:
+        pos = self._edge_pos.get((u, v))
+        if pos is not None:
+            existing = self._adj[u][pos][1]
             if weight < existing:
+                self._snapshot = None
                 self._replace_edge_weight(u, v, weight)
                 self._total_weight += weight - existing
                 if weight < self._min_weight:
                     self._min_weight = weight
             return
+        self._snapshot = None
+        self._edge_pos[(u, v)] = len(self._adj[u])
+        self._edge_pos[(v, u)] = len(self._adj[v])
         self._adj[u].append((v, weight))
         self._adj[v].append((u, weight))
         self._num_edges += 1
@@ -139,14 +156,8 @@ class Graph:
             self._min_weight = weight
 
     def _replace_edge_weight(self, u: int, v: int, weight: float) -> None:
-        for i, (w_node, _) in enumerate(self._adj[u]):
-            if w_node == v:
-                self._adj[u][i] = (v, weight)
-                break
-        for i, (w_node, _) in enumerate(self._adj[v]):
-            if w_node == u:
-                self._adj[v][i] = (u, weight)
-                break
+        self._adj[u][self._edge_pos[(u, v)]] = (v, weight)
+        self._adj[v][self._edge_pos[(v, u)]] = (u, weight)
 
     # ------------------------------------------------------------------
     # Accessors
@@ -216,13 +227,10 @@ class Graph:
         return self._edge_weight(u, v) is not None
 
     def _edge_weight(self, u: int, v: int) -> Optional[float]:
-        # Scan the shorter adjacency list.
-        if len(self._adj[u]) > len(self._adj[v]):
-            u, v = v, u
-        for neighbor, weight in self._adj[u]:
-            if neighbor == v:
-                return weight
-        return None
+        pos = self._edge_pos.get((u, v))
+        if pos is None:
+            return None
+        return self._adj[u][pos][1]
 
     # ------------------------------------------------------------------
     # Labels and groups
@@ -304,10 +312,36 @@ class Graph:
         clone._groups = {label: list(nodes) for label, nodes in self._groups.items()}
         clone._names = list(self._names)
         clone._name_to_id = dict(self._name_to_id)
+        clone._edge_pos = dict(self._edge_pos)
         clone._num_edges = self._num_edges
         clone._total_weight = self._total_weight
         clone._min_weight = self._min_weight
+        # The clone starts unfrozen: a CSRGraph is bound to one graph's
+        # exact structure, and the clone is free to mutate.
         return clone
+
+    # ------------------------------------------------------------------
+    # Immutable CSR snapshot
+    # ------------------------------------------------------------------
+    def freeze(self):
+        """Build (or return the cached) immutable CSR snapshot.
+
+        Returns a :class:`~repro.graph.csr.CSRGraph` over the current
+        structure.  The snapshot is cached on the graph and transparently
+        picked up by the shortest-path dispatchers and the search
+        engine's flat-kernel fast path; any later mutation
+        (``add_node`` / ``add_labels`` / ``add_edge`` that changes an
+        edge) drops it, so a stale snapshot can never be observed.
+        """
+        if self._snapshot is None:
+            from .csr import CSRGraph
+
+            self._snapshot = CSRGraph.from_graph(self)
+        return self._snapshot
+
+    def snapshot(self):
+        """The live CSR snapshot, or ``None`` when not frozen (or stale)."""
+        return self._snapshot
 
     def validate(self) -> None:
         """Check internal invariants; raises ``GraphError`` on corruption."""
@@ -328,6 +362,12 @@ class Graph:
                 edge_count += 1
         if edge_count != 2 * self._num_edges:
             raise GraphError("edge counter out of sync with adjacency lists")
+        if len(self._edge_pos) != 2 * self._num_edges:
+            raise GraphError("edge position index out of sync")
+        for (u, v), pos in self._edge_pos.items():
+            entry = self._adj[u][pos] if pos < len(self._adj[u]) else None
+            if entry is None or entry[0] != v:
+                raise GraphError(f"edge position index broken for ({u}, {v})")
         for label, group in self._groups.items():
             for node in group:
                 if label not in self._labels[node]:

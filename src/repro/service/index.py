@@ -96,6 +96,12 @@ class GraphIndex:
     ) -> None:
         started = time.perf_counter()
         self.graph = graph
+        # Freeze once: the CSR snapshot is immutable, so every query on
+        # this index (across all executor threads) shares it without
+        # locking, and the whole read path runs on the flat kernels.
+        freeze_started = time.perf_counter()
+        self.snapshot = graph.freeze()
+        self.snapshot_build_seconds = time.perf_counter() - freeze_started
         if cache is not None:
             if cache.graph is not graph:
                 raise ValueError(
@@ -295,6 +301,7 @@ class GraphIndex:
         observable, not just cache size.
         """
         info = self.cache.counters()
+        info["snapshot"] = self.snapshot.info()
         info["store"] = (
             {
                 "path": self.store.path,
@@ -439,6 +446,7 @@ class GraphIndex:
             labels=labels,
             algorithm=algorithm,
             index_build_seconds=self.build_seconds,
+            snapshot_build_seconds=self.snapshot_build_seconds,
         )
         events = trace.events
 
@@ -489,6 +497,7 @@ class GraphIndex:
                 context = solver.build_context()
             finally:
                 trace.stages["context_build"] = time.perf_counter() - stage_started
+            trace.kernel = getattr(context, "kernel", None)
             stage_started = time.perf_counter()
             prepared = solver.prepare(context)
             trace.stages["bounds_build"] = time.perf_counter() - stage_started

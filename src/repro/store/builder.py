@@ -110,6 +110,10 @@ def build_store(
         chosen = select_labels(graph, top_k, workload)
 
     os.makedirs(path, exist_ok=True)
+    # Freeze before the Dijkstra sweep: the tables below are then
+    # computed on the CSR kernels, and the snapshot's fingerprint is
+    # recorded so warm starts can verify the flat arrays byte-for-byte.
+    snapshot = graph.freeze()
     bytes_written = 0
     with open(os.path.join(path, DISTANCES_NAME), "wb") as handle:
         write_header(handle)
@@ -123,7 +127,12 @@ def build_store(
             bytes_written += write_record(
                 handle, pack_label_table(label, dist, parent)
             )
-    manifest = Manifest.for_graph(graph, chosen, graph_stem=graph_stem)
+    manifest = Manifest.for_graph(
+        graph,
+        chosen,
+        graph_stem=graph_stem,
+        snapshot_fingerprint=snapshot.fingerprint,
+    )
     manifest.save(path)
     return BuildReport(
         path=path,

@@ -63,6 +63,12 @@ class Manifest:
     format_version: int = FORMAT_VERSION
     graph_stem: Optional[str] = None
     created_by: str = "repro.store"
+    # Fingerprint of the frozen CSR snapshot at build time (see
+    # :attr:`repro.graph.csr.CSRGraph.fingerprint`).  Optional — stores
+    # written before snapshots existed simply omit it; when present,
+    # warm-start paths additionally validate it so a store is only
+    # trusted when the *byte-identical* flat arrays can be rebuilt.
+    snapshot_fingerprint: Optional[str] = None
 
     REQUIRED = ("fingerprint", "num_nodes", "num_edges", "num_labels",
                 "format_version")
@@ -74,6 +80,7 @@ class Manifest:
         labels: List[str],
         *,
         graph_stem: Optional[str] = None,
+        snapshot_fingerprint: Optional[str] = None,
     ) -> "Manifest":
         return cls(
             fingerprint=graph_fingerprint(graph),
@@ -85,6 +92,7 @@ class Manifest:
                 label: graph.label_frequency(label) for label in labels
             },
             graph_stem=graph_stem,
+            snapshot_fingerprint=snapshot_fingerprint,
         )
 
     # ------------------------------------------------------------------
@@ -99,6 +107,7 @@ class Manifest:
             "label_frequencies": dict(self.label_frequencies),
             "graph_stem": self.graph_stem,
             "created_by": self.created_by,
+            "snapshot_fingerprint": self.snapshot_fingerprint,
         }
 
     def save(self, directory: str) -> str:
@@ -147,6 +156,11 @@ class Manifest:
                 format_version=int(version),
                 graph_stem=raw.get("graph_stem"),
                 created_by=str(raw.get("created_by", "repro.store")),
+                snapshot_fingerprint=(
+                    str(raw["snapshot_fingerprint"])
+                    if raw.get("snapshot_fingerprint") is not None
+                    else None
+                ),
             )
         except (TypeError, ValueError) as exc:
             raise StoreCorruptError(

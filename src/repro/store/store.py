@@ -61,7 +61,15 @@ class PrecomputeStore:
         return cls.open(path, graph), report
 
     def check_graph(self, graph: Graph) -> None:
-        """Raise unless this store was built for exactly ``graph``."""
+        """Raise unless this store was built for exactly ``graph``.
+
+        Always compares the structural (sorted-edge) fingerprint; when
+        the manifest additionally records a CSR ``snapshot_fingerprint``
+        (stores written since snapshots exist) and the live graph is —
+        or can be — frozen, the snapshot's byte-level fingerprint is
+        validated too, which also pins construction order of the flat
+        arrays for warm starts.
+        """
         live = graph_fingerprint(graph)
         if live != self.manifest.fingerprint:
             raise StoreFingerprintError(
@@ -69,6 +77,16 @@ class PrecomputeStore:
                 f"(stored fingerprint {self.manifest.fingerprint[:12]}…, "
                 f"live graph {live[:12]}…); rebuild with `repro precompute`"
             )
+        stored_snapshot = self.manifest.snapshot_fingerprint
+        if stored_snapshot is not None:
+            live_snapshot = graph.freeze().fingerprint
+            if live_snapshot != stored_snapshot:
+                raise StoreFingerprintError(
+                    f"store {self.path!r} records snapshot fingerprint "
+                    f"{stored_snapshot[:12]}… but the live graph freezes "
+                    f"to {live_snapshot[:12]}…; the flat arrays were "
+                    "built in a different order — rebuild the store"
+                )
 
     # ------------------------------------------------------------------
     # Distance tables
