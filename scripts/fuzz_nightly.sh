@@ -32,4 +32,15 @@ echo "== anytime-mode sweep (epsilon 0.5) =="
 python -m repro fuzz --seed "$((SEED + ROUNDS))" --rounds "$((ROUNDS / 4))" \
     --max-nodes "$MAX_NODES" --epsilon 0.5 --out "$OUT_DIR"
 
-echo "nightly fuzz clean: no disagreements, no certification failures"
+echo "== crash-recovery rounds (kill -9 + checkpoint resume) =="
+# Each round SIGKILLs a process worker mid-search and requires the
+# respawned worker to resume from its checkpoint and match an
+# uninterrupted run exactly (see scripts/chaos_smoke.py).
+CHAOS_ROUNDS="${CHAOS_ROUNDS:-5}"
+for round in $(seq 1 "$CHAOS_ROUNDS"); do
+    echo "-- chaos round $round/$CHAOS_ROUNDS"
+    python scripts/chaos_smoke.py
+done
+
+echo "nightly fuzz clean: no disagreements, no certification failures," \
+     "crash recovery lossless across $CHAOS_ROUNDS chaos rounds"

@@ -34,6 +34,7 @@ from .errors import (
     StoreCorruptError,
     StoreVersionError,
     StoreFingerprintError,
+    WorkerCrashedError,
 )
 from .graph import Graph
 from .core import (
@@ -56,13 +57,18 @@ from .service import (
     AdmissionPolicy,
     BreakerPolicy,
     CancellationToken,
+    Checkpointer,
     CircuitBreaker,
     GraphIndex,
+    ProcessWorkerPool,
     QueryExecutor,
     QueryOutcome,
     QueryTrace,
     RetryPolicy,
     TraceSink,
+    WorkerPolicy,
+    checkpointed_execute,
+    resume_query,
 )
 from .store import (
     PrecomputeStore,
@@ -104,6 +110,7 @@ __all__ = [
     "StoreCorruptError",
     "StoreVersionError",
     "StoreFingerprintError",
+    "WorkerCrashedError",
     "PrecomputeStore",
     "ResultCache",
     "build_store",
@@ -113,5 +120,10 @@ __all__ = [
     "RetryPolicy",
     "BreakerPolicy",
     "CircuitBreaker",
+    "Checkpointer",
+    "ProcessWorkerPool",
+    "WorkerPolicy",
+    "checkpointed_execute",
+    "resume_query",
     "__version__",
 ]

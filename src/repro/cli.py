@@ -8,6 +8,8 @@ Commands
 ``generate``    Produce a synthetic dataset (edge/label files).
 ``info``        Summarize a stored graph.
 ``bench``       Regenerate one of the paper's figures/tables.
+``resume``      Resume checkpointed queries (``batch --checkpoint-dir``)
+                to completion after a crash or interruption.
 ``verify``      Cross-check every algorithm tier on one instance and
                 certify each answer (replays minimized fuzz reproducers).
 ``fuzz``        Seeded differential sweep over random instances
@@ -128,6 +130,43 @@ def build_parser() -> argparse.ArgumentParser:
                        help="warm-start from a precompute store directory; "
                             "successful answers are persisted back "
                             "(falls back to cold serving if unusable)")
+    batch.add_argument("--isolation", default="thread",
+                       choices=["thread", "process"],
+                       help="run each solve in a worker thread (default) or "
+                            "a supervised subprocess that contains hangs, "
+                            "OOM kills, and hard crashes to one query")
+    batch.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                       help="write engine checkpoints here; interrupted or "
+                            "crashed queries resume from their latest "
+                            "checkpoint (see the 'resume' command)")
+    batch.add_argument("--checkpoint-every", type=int, default=None,
+                       metavar="POPS",
+                       help="checkpoint cadence in engine state pops "
+                            "(default 2000; a 2s wall-clock trigger always "
+                            "runs alongside)")
+    batch.add_argument("--max-rss-mb", type=float, default=None,
+                       help="with --isolation=process: memory watchdog — a "
+                            "worker over this RSS is checkpointed and killed")
+    batch.add_argument("--worker-timeout", type=float, default=None,
+                       help="with --isolation=process: hard wall-clock kill "
+                            "deadline per worker in seconds")
+
+    res = sub.add_parser(
+        "resume",
+        help="resume checkpointed queries to completion",
+    )
+    res.add_argument("--graph", required=True, help="graph file stem")
+    res.add_argument("--checkpoint", default=None, metavar="FILE",
+                     help="one checkpoint file to resume")
+    res.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                     help="resume every checkpoint found in DIR")
+    res.add_argument("--time-limit", type=float, default=None,
+                     help="per-query wall-clock budget in seconds "
+                          "(default: run to proven optimality)")
+    res.add_argument("--json", action="store_true",
+                     help="emit one JSON record per resumed query")
+    res.add_argument("--quiet", action="store_true",
+                     help="print only the summary line")
 
     pre = sub.add_parser(
         "precompute",
@@ -390,13 +429,16 @@ def _read_query_file(path: str) -> List[List[str]]:
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
-    from .core.budget import Budget
+    import signal
+
+    from .core.budget import Budget, CancellationToken
     from .service import (
         AdmissionPolicy,
         GraphIndex,
         QueryExecutor,
         RetryPolicy,
         TraceSink,
+        WorkerPolicy,
     )
 
     graph = load_graph(args.graph)
@@ -418,11 +460,52 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         if args.admission is not None
         else None
     )
+    worker_policy = None
+    if (
+        args.max_rss_mb is not None
+        or args.worker_timeout is not None
+        or args.checkpoint_every is not None
+    ):
+        policy_kwargs = dict(
+            max_rss_mb=args.max_rss_mb,
+            hard_timeout_seconds=args.worker_timeout,
+        )
+        if args.checkpoint_every is not None:
+            policy_kwargs["checkpoint_every_pops"] = args.checkpoint_every
+        worker_policy = WorkerPolicy(**policy_kwargs)
     sink = TraceSink(args.traces) if args.traces else None
     if args.store is not None:
         index = _index_with_store(graph, args.store)
     else:
         index = GraphIndex(graph)
+
+    # Graceful interruption: SIGINT/SIGTERM cancel the shared token
+    # instead of killing the process mid-write.  In-flight engines
+    # checkpoint (when --checkpoint-dir is set) and return their best
+    # anytime answers, queued queries come back "cancelled", and the
+    # partial-results summary below still prints — so an interrupted
+    # batch is resumable, not lost.
+    token = CancellationToken()
+    interrupted: dict = {"signum": None}
+
+    def _on_signal(signum, frame):
+        if interrupted["signum"] is None:
+            interrupted["signum"] = signum
+            name = signal.Signals(signum).name
+            print(
+                f"\n{name}: cancelling batch — in-flight queries are "
+                "checkpointing and returning their best answers...",
+                file=sys.stderr,
+            )
+            token.cancel(f"interrupted by {name}")
+
+    previous_handlers = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous_handlers[signum] = signal.signal(signum, _on_signal)
+        except (ValueError, OSError):  # pragma: no cover - non-main thread
+            pass
+
     started = _time.perf_counter()
     try:
         with QueryExecutor(
@@ -433,9 +516,19 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             trace_sink=sink,
             retry_policy=retry_policy,
             admission=admission,
+            isolation=args.isolation,
+            checkpoint_dir=args.checkpoint_dir,
+            worker_policy=worker_policy,
         ) as executor:
-            outcomes = executor.run_batch(queries, deadline=args.deadline)
+            outcomes = executor.run_batch(
+                queries, deadline=args.deadline, cancel_token=token
+            )
     finally:
+        for signum, handler in previous_handlers.items():
+            try:
+                signal.signal(signum, handler)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
         if sink is not None:
             sink.close()
     total = _time.perf_counter() - started
@@ -468,12 +561,23 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     print(
         f"batch: {len(outcomes)} queries ({ok} ok, {len(outcomes) - ok} "
         f"failed) in {total:.3f}s = {qps:.1f} q/s "
-        f"[{args.algorithm}, {executor.max_workers} workers]"
+        f"[{args.algorithm}, {executor.max_workers} "
+        f"{args.isolation} workers]"
     )
     if degraded or rejected or retried:
         print(
             f"resilience: {retried} retried, {degraded} degraded, "
             f"{rejected} rejected"
+        )
+    checkpoints = sum(o.trace.checkpoints for o in outcomes)
+    resumed = sum(o.trace.resumed_from is not None for o in outcomes)
+    restarts = sum(o.trace.worker_restarts for o in outcomes)
+    watchdog = sum(o.trace.watchdog_kills for o in outcomes)
+    if checkpoints or resumed or restarts or watchdog:
+        print(
+            f"durability: {checkpoints} checkpoints written, {resumed} "
+            f"queries resumed, {restarts} workers restarted, "
+            f"{watchdog} watchdog kills"
         )
     if sink is not None:
         print(f"traces: {sink.count} records -> {args.traces}")
@@ -484,7 +588,98 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             f"store: {hits} result-cache hits; persisted {saved} answers "
             f"-> {args.store}"
         )
+    if interrupted["signum"] is not None:
+        name = signal.Signals(interrupted["signum"]).name
+        cancelled_n = sum(o.trace.status == "cancelled" for o in outcomes)
+        # A cancelled query with an incumbent still counts as ok above;
+        # here "completed" means it actually ran to its natural end.
+        completed = sum(
+            o.ok and o.trace.status != "cancelled" for o in outcomes
+        )
+        print(
+            f"interrupted by {name}: partial results above — "
+            f"{completed} completed, {cancelled_n} cancelled"
+        )
+        if args.checkpoint_dir is not None:
+            print(
+                "resume interrupted queries with: repro resume "
+                f"--graph {args.graph} --checkpoint-dir {args.checkpoint_dir}"
+            )
+        return 130 if interrupted["signum"] == signal.SIGINT else 143
     return 0 if ok > 0 else 2
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    import glob
+    import os
+
+    from .core.budget import Budget
+    from .service import GraphIndex, resume_query
+    from .service.durability import CHECKPOINT_SUFFIX
+
+    if (args.checkpoint is None) == (args.checkpoint_dir is None):
+        raise ReproError(
+            "resume needs exactly one of --checkpoint / --checkpoint-dir"
+        )
+    if args.checkpoint is not None:
+        paths = [args.checkpoint]
+    else:
+        paths = sorted(
+            glob.glob(
+                os.path.join(args.checkpoint_dir, f"*{CHECKPOINT_SUFFIX}")
+            )
+        )
+        if not paths:
+            print(
+                f"resume: no checkpoints in {args.checkpoint_dir} — "
+                "nothing to do"
+            )
+            return 0
+    graph = load_graph(args.graph)
+    index = GraphIndex(graph)
+    budget = (
+        Budget(time_limit=args.time_limit)
+        if args.time_limit is not None
+        else None
+    )
+    ok = failed = 0
+    for path in paths:
+        try:
+            outcome = resume_query(index, path, budget=budget)
+        except StoreError as exc:
+            # Typed fail-closed surface: a truncated / corrupt /
+            # version-skewed / wrong-graph checkpoint is reported, not
+            # silently re-solved — the caller decides what to discard.
+            print(f"resume: {exc}", file=sys.stderr)
+            failed += 1
+            continue
+        trace = outcome.trace
+        if outcome.ok:
+            ok += 1
+            result = outcome.result
+            if args.json:
+                import json
+
+                record = trace.to_dict()
+                record["checkpoint"] = path
+                print(json.dumps(record, sort_keys=True))
+            elif not args.quiet:
+                print(
+                    f"{os.path.basename(path):<28} "
+                    f"{','.join(str(l) for l in outcome.labels):<30} "
+                    f"weight={result.weight:g} "
+                    f"{'optimal' if result.optimal else 'anytime'} "
+                    f"({trace.wall_seconds * 1e3:.1f} ms, "
+                    f"+{trace.checkpoints} checkpoints)"
+                )
+        else:
+            failed += 1
+            print(
+                f"resume: {os.path.basename(path)} failed: {trace.error}",
+                file=sys.stderr,
+            )
+    print(f"resume: {ok} completed, {failed} failed of {len(paths)}")
+    return 0 if failed == 0 else 2
 
 
 def _cmd_precompute(args: argparse.Namespace) -> int:
@@ -676,6 +871,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "solve": _cmd_solve,
     "batch": _cmd_batch,
+    "resume": _cmd_resume,
     "precompute": _cmd_precompute,
     "generate": _cmd_generate,
     "info": _cmd_info,

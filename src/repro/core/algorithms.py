@@ -103,6 +103,8 @@ class _ProgressiveSolverBase:
         distance_cache=None,
         bound_memo_limit: Optional[int] = None,
         debug_certify: bool = False,
+        checkpointer=None,
+        restore_state: Optional[dict] = None,
     ) -> None:
         self.graph = graph
         self.query = _coerce_query(query)
@@ -130,6 +132,12 @@ class _ProgressiveSolverBase:
         # Opt-in paranoia: the engine certifies every incumbent update
         # through repro.verify (see SearchEngine.debug_certify).
         self.debug_certify = debug_certify
+        # Durability hooks (repro.service.durability): a cadence object
+        # the engine calls every loop iteration, and an optional
+        # SearchEngine.checkpoint() dict to resume from instead of
+        # seeding a cold search.
+        self.checkpointer = checkpointer
+        self.restore_state = restore_state
         if self.requires_positive_weights and graph.num_edges > 0:
             if graph.min_edge_weight <= 0.0:
                 raise GraphError(
@@ -178,8 +186,11 @@ class _ProgressiveSolverBase:
             on_event=self.on_event,
             init_seconds=context.build_seconds + extra_init,
             table_entries=table_entries,
+            checkpointer=self.checkpointer,
             **self.budget.engine_kwargs(),
         )
+        if self.restore_state is not None:
+            engine.restore(self.restore_state)
         return engine.run()
 
     def solve(self) -> GSTResult:

@@ -78,6 +78,7 @@ class SearchEngine:
         max_states: Optional[int] = None,
         on_limit: str = "return",
         cancel_token=None,
+        checkpointer=None,
         debug_certify: bool = False,
         on_progress: Optional[Callable[[ProgressPoint], None]] = None,
         on_feasible: Optional[Callable[[SteinerTree], None]] = None,
@@ -103,6 +104,11 @@ class SearchEngine:
         self.max_states = max_states
         self.on_limit = on_limit
         self.cancel_token = cancel_token
+        # Durability hook (see :mod:`repro.service.durability`): an
+        # object with ``maybe_checkpoint(engine)`` called once per loop
+        # iteration at a consistent point (before the pop), and invoked
+        # with ``checkpoint(engine)`` on cooperative cancellation.
+        self.checkpointer = checkpointer
         self.debug_certify = debug_certify
         self.on_progress = on_progress
         self.on_feasible = on_feasible
@@ -131,6 +137,10 @@ class SearchEngine:
         self._global_lb = 0.0
         self._last_ratio_recorded = INF
         self._started = 0.0
+        # Set by :meth:`restore`: skips seeding and offsets the clock so
+        # elapsed time is cumulative across checkpoint/resume cycles.
+        self._restored = False
+        self._elapsed_offset = 0.0
 
     # ------------------------------------------------------------------
     # Public entry point
@@ -172,11 +182,17 @@ class SearchEngine:
                 stats=self.stats,
                 trace=self.trace,
             )
-        self._seed_states()
+        if not self._restored:
+            self._seed_states()
 
+        checkpointer = self.checkpointer
         optimal = False
         pops_since_check = 0
         while self._queue:
+            if checkpointer is not None:
+                # Loop top is the engine's consistent point: the queue,
+                # pending map, and settled store agree with each other.
+                checkpointer.maybe_checkpoint(self)
             pops_since_check += 1
             if pops_since_check >= _LIMIT_CHECK_INTERVAL:
                 pops_since_check = 0
@@ -322,11 +338,14 @@ class SearchEngine:
         progressive = self.progressive
         on_feasible = self.on_feasible
 
-        pops = 0
-        pushes = 0
-        expanded = 0
-        grown = 0
-        merges = 0
+        # Resumed runs continue the checkpointed counters (cumulative
+        # across interruptions); cold runs start from the zeros the
+        # constructor put in ``stats``.
+        pops = stats.states_popped
+        pushes = stats.states_pushed
+        expanded = stats.states_expanded
+        grown = stats.edges_grown
+        merges = stats.merges_performed
 
         def update(node, mask, cost, backpointer, parent_f):
             # Inlined twin of ``_update`` (Alg 1 lines 21-26 / Alg 4
@@ -356,17 +375,30 @@ class SearchEngine:
             pending[key] = (cost, backpointer)
             queue_update(key, f_value)
 
-        for label_index, members in enumerate(context.groups):
-            bit = 1 << label_index
-            seed_bp = ("seed", label_index)
-            for node in members:
-                update(node, bit, 0.0, seed_bp, 0.0)
+        if not self._restored:
+            for label_index, members in enumerate(context.groups):
+                bit = 1 << label_index
+                seed_bp = ("seed", label_index)
+                for node in members:
+                    update(node, bit, 0.0, seed_bp, 0.0)
         self._track_peak()
 
+        checkpointer = self.checkpointer
         optimal = False
         pops_since_check = 0
         try:
             while queue:
+                if checkpointer is not None:
+                    # Sync the counters the checkpoint serializes, then
+                    # give the cadence hook its per-iteration look.  Loop
+                    # top is the consistent point: queue, pending, and
+                    # settled store agree with each other here.
+                    stats.states_popped = pops
+                    stats.states_pushed = pushes
+                    stats.states_expanded = expanded
+                    stats.edges_grown = grown
+                    stats.merges_performed = merges
+                    checkpointer.maybe_checkpoint(self)
                 pops_since_check += 1
                 if pops_since_check >= _LIMIT_CHECK_INTERVAL:
                     pops_since_check = 0
@@ -487,6 +519,134 @@ class SearchEngine:
             optimal=optimal,
             stats=self.stats,
             trace=self.trace,
+        )
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore (durability layer)
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> dict:
+        """Serialize the live search state to a JSON-safe dict.
+
+        Captures everything :meth:`restore` needs to continue the search
+        as if it had never stopped: the priority queue (``(key, f)``
+        pairs), the pending map (``(key, cost, backpointer)``), the
+        settled :class:`~repro.core.state.StateStore`, the incumbent
+        tree, the global lower bound, cumulative elapsed time, and the
+        stats counters.  All state keys are normalized to packed
+        ``node << k | mask`` ints (:func:`~repro.core.state.pack_state`)
+        regardless of which run loop produced them, so a checkpoint
+        taken by the legacy loop restores into the CSR loop and vice
+        versa.  Must be called at a consistent point — between loop
+        iterations, which is where the engine invokes its checkpointer.
+        """
+        kb = self.context.k
+        legacy = self.context.snapshot is None
+        if legacy:
+            queue = [
+                [(key[0] << kb) | key[1], f] for key, f in self._queue.items()
+            ]
+            pending = [
+                [(key[0] << kb) | key[1], cost, list(bp)]
+                for key, (cost, bp) in self._pending.items()
+            ]
+        else:
+            queue = [[key, f] for key, f in self._queue.items()]
+            pending = [
+                [key, cost, list(bp)]
+                for key, (cost, bp) in self._pending.items()
+            ]
+        settled = [
+            [(node << kb) | mask, cost, list(bp)]
+            for node, mask, cost, bp in self._store.items()
+        ]
+        best_tree = None
+        if self._best_tree is not None:
+            best_tree = {
+                "edges": [[u, v, w] for u, v, w in self._best_tree.edges],
+                "nodes": sorted(self._best_tree.nodes),
+            }
+        stats = self.stats
+        return {
+            "key_bits": kb,
+            "algorithm": self.algorithm_name,
+            "epsilon": self.epsilon,
+            "elapsed": self._elapsed(),
+            "best_weight": self._best,
+            "best_tree": best_tree,
+            "global_lb": self._global_lb,
+            "queue": queue,
+            "pending": pending,
+            "settled": settled,
+            "stats": {
+                "states_popped": stats.states_popped,
+                "states_pushed": stats.states_pushed,
+                "states_expanded": stats.states_expanded,
+                "merges_performed": stats.merges_performed,
+                "edges_grown": stats.edges_grown,
+                "feasible_built": stats.feasible_built,
+                "reopened": stats.reopened,
+                "peak_queue_size": stats.peak_queue_size,
+                "peak_store_size": stats.peak_store_size,
+                "peak_live_states": stats.peak_live_states,
+                "feasible_seconds": stats.feasible_seconds,
+            },
+        }
+
+    def restore(self, state: dict) -> None:
+        """Rehydrate a :meth:`checkpoint` dict; call before :meth:`run`.
+
+        Rebuilds the queue, pending map, settled store, incumbent, and
+        lower bound, and marks the engine restored so the run loops skip
+        seeding and continue the clock and counters cumulatively.  The
+        caller (:mod:`repro.service.durability`) is responsible for
+        binding the checkpoint to the right graph/query — this method
+        only validates the mask width.
+        """
+        kb = int(state["key_bits"])
+        if kb != self.context.k:
+            raise ValueError(
+                f"checkpoint was taken with key_bits={kb} but this query "
+                f"has k={self.context.k} labels"
+            )
+        legacy = self.context.snapshot is None
+        mask_filter = (1 << kb) - 1
+        for packed, cost, bp in state["settled"]:
+            self._store.settle(
+                packed >> kb, packed & mask_filter, cost, tuple(bp)
+            )
+        for packed, cost, bp in state["pending"]:
+            key = (packed >> kb, packed & mask_filter) if legacy else packed
+            self._pending[key] = (cost, tuple(bp))
+        for packed, f_value in state["queue"]:
+            key = (packed >> kb, packed & mask_filter) if legacy else packed
+            self._queue.update(key, f_value)
+        self._best = float(state["best_weight"])
+        tree = state.get("best_tree")
+        if tree is not None:
+            self._best_tree = SteinerTree(
+                ((u, v, w) for u, v, w in tree["edges"]), nodes=tree["nodes"]
+            )
+        self._global_lb = float(state["global_lb"])
+        self._elapsed_offset = float(state.get("elapsed", 0.0))
+        counters = state.get("stats", {})
+        stats = self.stats
+        stats.states_popped = int(counters.get("states_popped", 0))
+        stats.states_pushed = int(counters.get("states_pushed", 0))
+        stats.states_expanded = int(counters.get("states_expanded", 0))
+        stats.merges_performed = int(counters.get("merges_performed", 0))
+        stats.edges_grown = int(counters.get("edges_grown", 0))
+        stats.feasible_built = int(counters.get("feasible_built", 0))
+        stats.reopened = int(counters.get("reopened", 0))
+        stats.peak_queue_size = int(counters.get("peak_queue_size", 0))
+        stats.peak_store_size = int(counters.get("peak_store_size", 0))
+        stats.peak_live_states = int(counters.get("peak_live_states", 0))
+        stats.feasible_seconds = float(counters.get("feasible_seconds", 0.0))
+        self._restored = True
+        self._emit(
+            "search_resumed",
+            states_popped=stats.states_popped,
+            queue_size=len(self._queue),
+            best_weight=self._best,
         )
 
     # ------------------------------------------------------------------
@@ -742,7 +902,10 @@ class SearchEngine:
     # Limits
     # ------------------------------------------------------------------
     def _elapsed(self) -> float:
-        return time.perf_counter() - self._started
+        # ``_elapsed_offset`` carries the wall-clock already spent before
+        # a checkpoint this engine was restored from (0.0 on cold runs),
+        # so progress reports and time limits see cumulative time.
+        return time.perf_counter() - self._started + self._elapsed_offset
 
     def _epsilon_satisfied(self) -> bool:
         if self._best == INF:
@@ -763,15 +926,26 @@ class SearchEngine:
             # ``_LIMIT_CHECK_INTERVAL`` pops, so a cancelled query stops
             # within that many pops and returns its incumbent answer.
             self.stats.cancelled = True
+            if self.checkpointer is not None:
+                # Persist the frontier before unwinding so the query can
+                # be resumed exactly where cancellation struck.
+                self.checkpointer.checkpoint(self)
             self._emit("search_cancelled", elapsed=self._elapsed())
             return True
         if self.time_limit is not None and self._elapsed() >= self.time_limit:
+            if self.checkpointer is not None:
+                # Anytime exits persist a final checkpoint too, so a
+                # budget-limited answer can later be resumed and pushed
+                # to proven optimality instead of restarting cold.
+                self.checkpointer.checkpoint(self)
             return True
         if self.max_states is not None and self.stats.states_popped >= self.max_states:
             if self.on_limit == "raise":
                 raise LimitExceededError(
                     f"{self.algorithm_name}: max_states={self.max_states} exhausted"
                 )
+            if self.checkpointer is not None:
+                self.checkpointer.checkpoint(self)
             return True
         return False
 

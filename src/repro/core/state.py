@@ -124,6 +124,18 @@ class StateStore:
     def __len__(self) -> int:
         return self._size
 
+    def items(self) -> Iterator[Tuple[int, int, float, Backpointer]]:
+        """Yield every settled ``(node, mask, cost, backpointer)``.
+
+        Iteration order follows node id, then the per-node dict's
+        insertion order — deterministic for a deterministic search, which
+        keeps engine checkpoints byte-stable across identical runs.
+        """
+        key_bits = self.key_bits
+        for node, bucket in enumerate(self._cost):
+            for mask, cost in bucket.items():
+                yield node, mask, cost, self._backpointer[(node << key_bits) | mask]
+
     @property
     def peak_size(self) -> int:
         """High-water mark of settled states (memory accounting)."""

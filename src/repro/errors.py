@@ -26,6 +26,7 @@ __all__ = [
     "QueryCancelledError",
     "CircuitOpenError",
     "CertificationError",
+    "WorkerCrashedError",
     "StoreError",
     "StoreCorruptError",
     "StoreVersionError",
@@ -132,6 +133,32 @@ class CertificationError(ReproError):
     means a solver, cache, or store produced a wrong answer — it is a
     bug report, not an input error.
     """
+
+
+class WorkerCrashedError(ReproError):
+    """A process-isolated worker died before delivering its outcome.
+
+    Raised (or captured into a :class:`~repro.service.index.QueryOutcome`)
+    by the :class:`~repro.service.durability.ProcessWorkerPool` when a
+    subprocess solving a query is killed — OOM-killer, ``kill -9``, a
+    segfault, the pool's own memory watchdog, or a hard-deadline kill of
+    a hung worker.  The query itself may be perfectly fine, so the error
+    is *retryable*: the service resumes it from its latest engine
+    checkpoint (or re-runs it cold) instead of failing the batch.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        pid: Optional[int] = None,
+        exitcode: Optional[int] = None,
+        reason: Optional[str] = None,
+    ) -> None:
+        super().__init__(message)
+        self.pid = pid
+        self.exitcode = exitcode
+        self.reason = reason
 
 
 class StoreError(ReproError):

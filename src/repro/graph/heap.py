@@ -60,6 +60,16 @@ class IndexedHeap:
         """Iterate over keys in *heap order* (not sorted order)."""
         return iter(key for _, key in self._entries)
 
+    def items(self) -> Iterator[Tuple[Hashable, Any]]:
+        """Iterate over ``(key, priority)`` pairs in *heap order*.
+
+        Heap order is an implementation detail, but it is a valid
+        insertion order: re-``push``-ing the pairs into an empty heap
+        reproduces an equivalent queue.  Engine checkpointing relies on
+        this to serialize the frontier without destroying it.
+        """
+        return iter((key, priority) for priority, key in self._entries)
+
     def priority_of(self, key: Hashable) -> Any:
         """Return the current priority of ``key``.
 

@@ -18,7 +18,13 @@ This package is the production-serving layer over the paper's solvers:
   cancellation, :class:`AdmissionController` pre-flight cost gating,
   :class:`RetryPolicy` retry-with-degradation down the
   ``pruneddp++ → pruneddp → basic`` ladder, and per-algorithm
-  :class:`CircuitBreaker` load shedding.
+  :class:`CircuitBreaker` load shedding;
+* the durability layer (:mod:`repro.service.durability`) — engine
+  :class:`Checkpointer` (crash-safe checkpoint/resume of a progressive
+  search's full frontier), :class:`ProcessWorkerPool` process-isolated
+  execution with a memory watchdog and crash containment
+  (``QueryExecutor(..., isolation="process", checkpoint_dir=...)``),
+  and :func:`resume_query` to push an interrupted query to optimality.
 
 Typical use::
 
@@ -33,6 +39,15 @@ Typical use::
 """
 
 from ..core.budget import Budget, CancellationToken
+from .durability import (
+    Checkpointer,
+    ProcessWorkerPool,
+    WorkerPolicy,
+    checkpointed_execute,
+    read_checkpoint,
+    resume_query,
+    write_checkpoint,
+)
 from .index import DEFAULT_MAX_CACHED_LABELS, GraphIndex, QueryOutcome
 from .executor import QueryExecutor
 from .resilience import (
@@ -67,4 +82,11 @@ __all__ = [
     "CircuitBreaker",
     "ResiliencePipeline",
     "RetryPolicy",
+    "Checkpointer",
+    "ProcessWorkerPool",
+    "WorkerPolicy",
+    "checkpointed_execute",
+    "read_checkpoint",
+    "resume_query",
+    "write_checkpoint",
 ]

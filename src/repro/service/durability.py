@@ -1,0 +1,932 @@
+"""Crash-safe progressive search: checkpoints, process workers, watchdog.
+
+The paper's progressive framework keeps a feasible incumbent and a
+sound lower bound live at every moment of a search.  This module makes
+that anytime state *durable* and the workers holding it *killable*:
+
+* **Engine checkpoints** — :class:`Checkpointer` drives
+  :meth:`SearchEngine.checkpoint <repro.core.engine.SearchEngine.checkpoint>`
+  on a pop-count/wall-clock cadence (and on cancellation), writing the
+  frontier atomically (tmp + rename) in the CRC32-framed record format
+  of :mod:`repro.store.format`.  A checkpoint is bound to the CSR
+  snapshot fingerprint, so it can never resume against a different
+  graph; corruption, version skew, and fingerprint mismatches raise the
+  typed :class:`~repro.errors.StoreError` subclasses and resume paths
+  fall back to a cold solve.
+* **Process-isolated execution** — :class:`ProcessWorkerPool` runs each
+  solve in a forked subprocess with a supervisor loop in the parent:
+  a hard kill deadline contains hangs, worker death surfaces as typed
+  :class:`~repro.errors.WorkerCrashedError` instead of wedging the
+  service, and crashed workers are respawned and resume their query
+  from its latest checkpoint.
+* **Memory watchdog** — the supervisor samples worker RSS from
+  ``/proc``; a worker over budget is sent SIGTERM (its engine
+  checkpoints on the resulting cooperative cancellation), then killed.
+  The crash is surfaced retryable, so the executor's
+  :class:`~repro.service.resilience.RetryPolicy` ladder resumes the
+  query at a degraded rung instead of re-OOMing the same configuration.
+
+Everything here is dependency-free (``/proc`` + ``multiprocessing``)
+and composes with the existing service stack: the executor injects
+:func:`checkpointed_execute` / :meth:`ProcessWorkerPool.execute` as the
+``execute`` callable of its :class:`~repro.service.resilience.ResiliencePipeline`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import signal
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Hashable, Iterable, Optional, Tuple, Union
+
+from ..core.budget import Budget, CancellationToken
+from ..errors import (
+    ReproError,
+    StoreCorruptError,
+    StoreError,
+    StoreFingerprintError,
+    StoreVersionError,
+    WorkerCrashedError,
+)
+from ..store.format import (
+    iter_records,
+    pack_json,
+    read_header,
+    unpack_json,
+    write_header,
+    write_record,
+)
+from .index import GraphIndex, QueryOutcome
+from .telemetry import QueryTrace
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "Checkpointer",
+    "ProcessWorkerPool",
+    "WorkerPolicy",
+    "checkpoint_path",
+    "checkpointed_execute",
+    "read_checkpoint",
+    "resume_query",
+    "write_checkpoint",
+]
+
+CHECKPOINT_VERSION = 1
+CHECKPOINT_KIND = "engine-checkpoint"
+CHECKPOINT_SUFFIX = ".ckpt"
+
+# Default checkpoint cadence: whichever of the two triggers first.
+DEFAULT_EVERY_POPS = 2000
+DEFAULT_EVERY_SECONDS = 2.0
+
+try:
+    _PAGE_SIZE = os.sysconf("SC_PAGE_SIZE")
+except (AttributeError, ValueError, OSError):  # pragma: no cover
+    _PAGE_SIZE = 4096
+
+
+# ----------------------------------------------------------------------
+# Checkpoint files
+# ----------------------------------------------------------------------
+def checkpoint_path(
+    directory: str, fingerprint: str, labels: Iterable[Hashable]
+) -> str:
+    """Deterministic checkpoint filename for one (graph, query) pair.
+
+    One file per query identity: a crashed worker, its respawn, and a
+    later ``repro resume`` all find the same path.  The digest covers
+    the snapshot fingerprint and the ordered label list.
+    """
+    digest = hashlib.sha256()
+    digest.update(fingerprint.encode("utf-8"))
+    for label in labels:
+        digest.update(b"\x00")
+        digest.update(str(label).encode("utf-8"))
+    return os.path.join(
+        directory, f"query-{digest.hexdigest()[:16]}{CHECKPOINT_SUFFIX}"
+    )
+
+
+def checkpoint_meta(
+    fingerprint: str,
+    labels: Iterable[Hashable],
+    algorithm: str,
+    *,
+    epsilon: float = 0.0,
+    query_id=None,
+) -> dict:
+    """The meta record framed ahead of the engine state.
+
+    ``labels`` must be JSON-serializable (strings/ints — which is what
+    every loader in :mod:`repro.graph.io` produces); ``algorithm`` is
+    the resolved solver key the checkpoint must be resumed under (the
+    stored f-values embed that algorithm's lower bounds, so resuming
+    under another rung would be unsound).
+    """
+    return {
+        "kind": CHECKPOINT_KIND,
+        "checkpoint_version": CHECKPOINT_VERSION,
+        "fingerprint": fingerprint,
+        "labels": list(labels),
+        "algorithm": algorithm,
+        "epsilon": epsilon,
+        "query_id": query_id,
+    }
+
+
+def write_checkpoint(path: str, meta: dict, state: dict) -> str:
+    """Atomically persist one engine checkpoint (tmp + rename + fsync).
+
+    Readers either see the previous complete checkpoint or the new one,
+    never a torn write — which is the whole point of checkpointing
+    under crash conditions.
+    """
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as fh:
+        write_header(fh)
+        write_record(fh, pack_json(meta))
+        write_record(fh, pack_json(state))
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    return path
+
+
+def read_checkpoint(
+    path: str, *, expect_fingerprint: Optional[str] = None
+) -> Tuple[dict, dict]:
+    """Load and validate a checkpoint file, fail-closed.
+
+    Returns ``(meta, state)``.  Truncation and CRC mismatches raise
+    :class:`~repro.errors.StoreCorruptError`, version skew raises
+    :class:`~repro.errors.StoreVersionError`, and — when
+    ``expect_fingerprint`` is given — a checkpoint taken against a
+    different graph raises :class:`~repro.errors.StoreFingerprintError`.
+    Callers catch :class:`~repro.errors.StoreError` and fall back to a
+    cold solve.
+    """
+    what = f"checkpoint {path!r}"
+    try:
+        fh = open(path, "rb")
+    except OSError as exc:
+        raise StoreCorruptError(f"{what}: cannot open: {exc}") from None
+    with fh:
+        read_header(fh, what=what)
+        records = iter_records(fh, what=what)
+        try:
+            meta = unpack_json(next(records), what=what)
+        except StopIteration:
+            raise StoreCorruptError(f"{what}: missing meta record") from None
+        if not isinstance(meta, dict) or meta.get("kind") != CHECKPOINT_KIND:
+            raise StoreCorruptError(f"{what}: not an engine checkpoint")
+        version = meta.get("checkpoint_version")
+        if version != CHECKPOINT_VERSION:
+            raise StoreVersionError(
+                f"{what}: checkpoint version {version} is not supported "
+                f"(this build reads version {CHECKPOINT_VERSION})"
+            )
+        if (
+            expect_fingerprint is not None
+            and meta.get("fingerprint") != expect_fingerprint
+        ):
+            stored = str(meta.get("fingerprint"))[:12]
+            raise StoreFingerprintError(
+                f"{what}: checkpoint was taken against a different graph "
+                f"(stored snapshot fingerprint {stored}…, live "
+                f"{expect_fingerprint[:12]}…); it cannot be resumed here"
+            )
+        try:
+            state = unpack_json(next(records), what=what)
+        except StopIteration:
+            raise StoreCorruptError(f"{what}: missing state record") from None
+        if not isinstance(state, dict):
+            raise StoreCorruptError(f"{what}: malformed state record")
+    return meta, state
+
+
+class Checkpointer:
+    """Cadence-driven checkpoint writer the engine calls per iteration.
+
+    The engine invokes :meth:`maybe_checkpoint` at the top of every pop
+    loop iteration (its consistent point) and :meth:`checkpoint` when a
+    cooperative cancellation fires; a write happens when either
+    ``every_pops`` state pops or ``every_seconds`` wall-clock seconds
+    elapsed since the last one.  ``on_write`` is an observation hook
+    (tests and the chaos harness use it); ``written`` counts writes and
+    lands in :attr:`QueryTrace.checkpoints
+    <repro.service.telemetry.QueryTrace.checkpoints>`.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        meta: dict,
+        *,
+        every_pops: Optional[int] = DEFAULT_EVERY_POPS,
+        every_seconds: Optional[float] = DEFAULT_EVERY_SECONDS,
+        on_write: Optional[Callable[["Checkpointer"], None]] = None,
+    ) -> None:
+        if every_pops is not None and every_pops <= 0:
+            raise ValueError("every_pops must be positive")
+        if every_seconds is not None and every_seconds <= 0:
+            raise ValueError("every_seconds must be positive")
+        self.path = path
+        self.meta = meta
+        self.every_pops = every_pops
+        self.every_seconds = every_seconds
+        self.on_write = on_write
+        self.written = 0
+        self._last_pops = 0
+        self._last_time = time.monotonic()
+
+    def maybe_checkpoint(self, engine) -> bool:
+        """Write a checkpoint if the cadence says one is due."""
+        due = (
+            self.every_pops is not None
+            and engine.stats.states_popped - self._last_pops >= self.every_pops
+        ) or (
+            self.every_seconds is not None
+            and time.monotonic() - self._last_time >= self.every_seconds
+        )
+        if not due:
+            return False
+        self.checkpoint(engine)
+        return True
+
+    def checkpoint(self, engine) -> str:
+        """Write a checkpoint now, regardless of cadence."""
+        write_checkpoint(self.path, self.meta, engine.checkpoint())
+        self.written += 1
+        self._last_pops = engine.stats.states_popped
+        self._last_time = time.monotonic()
+        if self.on_write is not None:
+            self.on_write(self)
+        return self.path
+
+    def discard(self) -> None:
+        """Remove the checkpoint file (after a proven-optimal finish)."""
+        try:
+            os.remove(self.path)
+        except OSError:
+            pass
+
+
+# ----------------------------------------------------------------------
+# Checkpoint-aware execution (shared by the thread backend, the process
+# worker entry, and the CLI resume path)
+# ----------------------------------------------------------------------
+def _progressive_key(index: GraphIndex, algorithm: str, labels) -> Optional[str]:
+    """Resolved solver key if it supports checkpointing, else ``None``.
+
+    Only the shared-engine progressive solvers can checkpoint; DPBF
+    (and any future off-family baseline) runs without durability rather
+    than failing on an unknown keyword argument.
+    """
+    from ..core.algorithms import _ProgressiveSolverBase
+    from ..core.solver import ALGORITHMS
+
+    try:
+        key = index.resolve_algorithm(algorithm, labels)
+    except ValueError:
+        return None
+    return key if issubclass(ALGORITHMS[key], _ProgressiveSolverBase) else None
+
+
+def checkpointed_execute(
+    index: GraphIndex,
+    labels: Iterable[Hashable],
+    *,
+    algorithm: str = "pruneddp++",
+    budget: Optional[Budget] = None,
+    query_id=None,
+    checkpoint_dir: str,
+    policy: Optional["WorkerPolicy"] = None,
+    on_write: Optional[Callable[[Checkpointer], None]] = None,
+    use_result_cache: bool = True,
+    **solver_kwargs,
+) -> QueryOutcome:
+    """``index.execute`` with durability: resume, checkpoint, clean up.
+
+    Same signature and never-raises contract as
+    :meth:`GraphIndex.execute <repro.service.index.GraphIndex.execute>`.
+    If ``checkpoint_dir`` holds a valid checkpoint for this (graph,
+    labels) pair the search resumes from it — under the *checkpoint's*
+    algorithm, whose bounds the stored f-values embed — and the trace
+    records ``resumed_from``.  An unreadable checkpoint (truncated,
+    CRC-flipped, version-skewed, or fingerprint-mismatched) is removed
+    and the query falls back to a cold solve.  Checkpoints are written
+    on the policy's cadence and on cancellation; a run that finishes
+    with *proven optimality* discards its checkpoint (anytime exits
+    keep it, so the query can later be resumed to optimality).
+    """
+    labels = tuple(labels)
+    policy = policy or WorkerPolicy()
+    os.makedirs(checkpoint_dir, exist_ok=True)
+    fingerprint = index.snapshot.fingerprint
+    path = checkpoint_path(checkpoint_dir, fingerprint, labels)
+    restore_state: Optional[dict] = None
+    resumed_from: Optional[str] = None
+    if os.path.exists(path):
+        try:
+            meta, restore_state = read_checkpoint(
+                path, expect_fingerprint=fingerprint
+            )
+            algorithm = meta["algorithm"]
+            resumed_from = path
+        except StoreError:
+            # Fail closed, solve cold: the broken file is removed so the
+            # next checkpoint write starts from a clean slate.
+            restore_state = None
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+
+    key = _progressive_key(index, algorithm, labels)
+    kwargs = dict(solver_kwargs)
+    checkpointer: Optional[Checkpointer] = None
+    if key is not None:
+        epsilon = budget.epsilon if budget is not None else float(
+            kwargs.get("epsilon") or 0.0
+        )
+        checkpointer = Checkpointer(
+            path,
+            checkpoint_meta(
+                fingerprint,
+                labels,
+                key,
+                epsilon=epsilon,
+                query_id=query_id,
+            ),
+            every_pops=policy.checkpoint_every_pops,
+            every_seconds=policy.checkpoint_every_seconds,
+            on_write=on_write,
+        )
+        kwargs["checkpointer"] = checkpointer
+        if restore_state is not None:
+            kwargs["restore_state"] = restore_state
+
+    outcome = index.execute(
+        labels,
+        algorithm=algorithm,
+        budget=budget,
+        query_id=query_id,
+        # A resumed query is being pushed past a previous anytime exit;
+        # a cached (possibly looser) answer must not shadow that.
+        use_result_cache=use_result_cache and restore_state is None,
+        **kwargs,
+    )
+    outcome.trace.resumed_from = resumed_from
+    if checkpointer is not None:
+        outcome.trace.checkpoints = checkpointer.written
+        if outcome.ok and outcome.result is not None and outcome.result.optimal:
+            checkpointer.discard()
+    return outcome
+
+
+def resume_query(
+    index: Union[GraphIndex, "object"],
+    path: str,
+    *,
+    budget: Optional[Budget] = None,
+    query_id=None,
+    policy: Optional["WorkerPolicy"] = None,
+    **solver_kwargs,
+) -> QueryOutcome:
+    """Resume one checkpointed query to completion (the CLI's ``resume``).
+
+    Reads the checkpoint (raising the typed
+    :class:`~repro.errors.StoreError` subclasses on corruption, version
+    skew, or a graph mismatch — resuming against the wrong graph is the
+    one failure this layer must never paper over), then continues the
+    search under the checkpoint's own algorithm and label set.  The
+    default budget is unlimited: the point of resuming is to push an
+    interrupted anytime answer to proven optimality.  The checkpoint is
+    discarded on a proven-optimal finish and refreshed otherwise.
+    """
+    index = GraphIndex.ensure(index)
+    policy = policy or WorkerPolicy()
+    fingerprint = index.snapshot.fingerprint
+    meta, state = read_checkpoint(path, expect_fingerprint=fingerprint)
+    labels = tuple(meta["labels"])
+    algorithm = str(meta["algorithm"])
+    checkpointer = Checkpointer(
+        path,
+        meta,
+        every_pops=policy.checkpoint_every_pops,
+        every_seconds=policy.checkpoint_every_seconds,
+    )
+    outcome = index.execute(
+        labels,
+        algorithm=algorithm,
+        budget=budget,
+        query_id=query_id if query_id is not None else meta.get("query_id"),
+        use_result_cache=False,
+        checkpointer=checkpointer,
+        restore_state=state,
+        **solver_kwargs,
+    )
+    outcome.trace.resumed_from = path
+    outcome.trace.checkpoints = checkpointer.written
+    if outcome.ok and outcome.result is not None and outcome.result.optimal:
+        checkpointer.discard()
+    return outcome
+
+
+# ----------------------------------------------------------------------
+# Process isolation
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WorkerPolicy:
+    """Supervision knobs for :class:`ProcessWorkerPool`.
+
+    ``max_rss_mb``
+        Memory watchdog threshold: a worker whose resident set exceeds
+        it is checkpoint-then-killed (``None`` disables the watchdog).
+    ``poll_interval``
+        Seconds between supervisor samples (pipe, liveness, RSS).
+    ``kill_grace_seconds``
+        How long a SIGTERM'd worker gets to checkpoint and deliver its
+        anytime answer before SIGKILL.
+    ``hard_timeout_seconds``
+        Absolute wall-clock kill deadline per worker — the containment
+        for hangs the cooperative time limit cannot reach (``None``
+        disables it).
+    ``max_restarts``
+        How many times the pool respawns a *crashed* worker for the
+        same query (resuming from its latest checkpoint) before
+        surfacing :class:`~repro.errors.WorkerCrashedError` to the
+        retry ladder.  Watchdog and timeout kills are never internally
+        respawned — rerunning the same configuration would just die the
+        same way; the ladder retries them degraded.
+    ``checkpoint_every_pops`` / ``checkpoint_every_seconds``
+        The engine checkpoint cadence (either trigger; ``None``
+        disables that trigger).
+    ``chaos_kill_after_checkpoints``
+        Test/chaos hook: the first worker to write this many
+        checkpoints SIGKILLs itself (exactly once per checkpoint
+        directory, via an atomic marker file).  ``None`` in production.
+    """
+
+    max_rss_mb: Optional[float] = None
+    poll_interval: float = 0.05
+    kill_grace_seconds: float = 5.0
+    hard_timeout_seconds: Optional[float] = None
+    max_restarts: int = 2
+    checkpoint_every_pops: Optional[int] = DEFAULT_EVERY_POPS
+    checkpoint_every_seconds: Optional[float] = DEFAULT_EVERY_SECONDS
+    chaos_kill_after_checkpoints: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.poll_interval <= 0:
+            raise ValueError("poll_interval must be positive")
+        if self.kill_grace_seconds < 0:
+            raise ValueError("kill_grace_seconds must be >= 0")
+        if self.max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0")
+
+
+def _rss_mb(pid: int) -> Optional[float]:
+    """Resident set size of ``pid`` in MiB via ``/proc`` (None if gone)."""
+    try:
+        with open(f"/proc/{pid}/statm", "r") as fh:
+            fields = fh.read().split()
+        return int(fields[1]) * _PAGE_SIZE / (1024.0 * 1024.0)
+    except (OSError, ValueError, IndexError):
+        return None
+
+
+_CHAOS_MARKER = "chaos-killed.marker"
+
+
+def _install_chaos_hook(checkpoint_dir: str, after: int):
+    """One-shot self-SIGKILL after ``after`` checkpoint writes.
+
+    The marker file is claimed with ``O_EXCL`` so exactly one worker
+    per checkpoint directory dies, and its respawn (which finds the
+    marker) resumes unharmed — giving tests and the CI chaos job a
+    deterministic mid-search ``kill -9``.
+    """
+    marker = os.path.join(checkpoint_dir, _CHAOS_MARKER)
+
+    def on_write(checkpointer: Checkpointer) -> None:
+        if checkpointer.written < after:
+            return
+        try:
+            fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            os.close(fd)
+        except FileExistsError:
+            return
+        os.kill(os.getpid(), signal.SIGKILL)
+
+    return on_write
+
+
+def _worker_entry(
+    conn,
+    index: GraphIndex,
+    labels,
+    algorithm: str,
+    budget: Optional[Budget],
+    query_id,
+    use_result_cache: bool,
+    solver_kwargs: dict,
+    checkpoint_dir: Optional[str],
+    policy: WorkerPolicy,
+) -> None:
+    """Subprocess body: solve one query, send the outcome up the pipe.
+
+    SIGTERM from the supervisor becomes a cooperative cancellation —
+    the engine checkpoints and returns its anytime answer within a
+    bounded number of pops — so both graceful shutdown and the memory
+    watchdog's checkpoint-then-kill ride the existing token machinery.
+    """
+    token = CancellationToken()
+    signal.signal(
+        signal.SIGTERM,
+        lambda signum, frame: token.cancel("terminated by supervisor"),
+    )
+    # The parent's SIGINT handling owns batch interruption; workers
+    # must not die mid-write from a forwarded Ctrl-C.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    budget = (budget or Budget()).with_cancellation(token)
+    on_write = None
+    if (
+        policy.chaos_kill_after_checkpoints is not None
+        and checkpoint_dir is not None
+    ):
+        on_write = _install_chaos_hook(
+            checkpoint_dir, policy.chaos_kill_after_checkpoints
+        )
+    try:
+        if checkpoint_dir is not None:
+            outcome = checkpointed_execute(
+                index,
+                labels,
+                algorithm=algorithm,
+                budget=budget,
+                query_id=query_id,
+                checkpoint_dir=checkpoint_dir,
+                policy=policy,
+                on_write=on_write,
+                use_result_cache=use_result_cache,
+                **solver_kwargs,
+            )
+        else:
+            outcome = index.execute(
+                labels,
+                algorithm=algorithm,
+                budget=budget,
+                query_id=query_id,
+                use_result_cache=use_result_cache,
+                **solver_kwargs,
+            )
+    except BaseException as exc:  # pragma: no cover - belt and braces
+        outcome = _error_outcome(
+            labels, algorithm, query_id, ReproError(f"worker failed: {exc}")
+        )
+    try:
+        conn.send(outcome)
+    except Exception as exc:
+        # An unpicklable payload must not look like a crash: ship a
+        # reduced outcome carrying the serialization failure instead.
+        try:
+            conn.send(
+                _error_outcome(
+                    labels,
+                    algorithm,
+                    query_id,
+                    ReproError(f"worker could not serialize outcome: {exc}"),
+                )
+            )
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+def _error_outcome(labels, algorithm, query_id, error) -> QueryOutcome:
+    trace = QueryTrace(
+        query_id=query_id,
+        labels=tuple(labels),
+        algorithm=algorithm,
+        status="error",
+        error=str(error),
+    )
+    return QueryOutcome(
+        query_id=query_id,
+        labels=tuple(labels),
+        algorithm=algorithm,
+        result=None,
+        error=error,
+        trace=trace,
+    )
+
+
+class _Attempt:
+    """What one supervised subprocess run produced."""
+
+    __slots__ = ("kind", "outcome", "exitcode")
+
+    def __init__(self, kind: str, outcome=None, exitcode=None) -> None:
+        self.kind = kind  # "delivered" | "crashed" | "watchdog" | "timeout"
+        self.outcome = outcome
+        self.exitcode = exitcode
+
+
+class ProcessWorkerPool:
+    """Process-isolated query execution with supervision and resume.
+
+    One pool per executor; each :meth:`execute` call forks a fresh
+    worker (fork start method — the index is inherited, not pickled)
+    and supervises it: outcomes come back over a pipe, RSS is sampled
+    against :attr:`WorkerPolicy.max_rss_mb`, a hard timeout contains
+    hangs, and a worker that dies without delivering is respawned up to
+    ``max_restarts`` times, resuming from its latest checkpoint.  All
+    terminal containment surfaces as a failed
+    :class:`~repro.service.index.QueryOutcome` carrying a typed
+    :class:`~repro.errors.WorkerCrashedError` — retryable, so the
+    executor's ladder can degrade-and-resume.
+    """
+
+    def __init__(
+        self,
+        index: GraphIndex,
+        *,
+        checkpoint_dir: Optional[str] = None,
+        policy: Optional[WorkerPolicy] = None,
+    ) -> None:
+        import multiprocessing
+
+        self.index = GraphIndex.ensure(index)
+        self.checkpoint_dir = checkpoint_dir
+        if checkpoint_dir is not None:
+            os.makedirs(checkpoint_dir, exist_ok=True)
+        self.policy = policy or WorkerPolicy()
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise RuntimeError(
+                "process isolation requires the fork start method "
+                "(POSIX); use isolation='thread' on this platform"
+            )
+        self._ctx = multiprocessing.get_context("fork")
+        # Pre-compute everything a child might lazily derive under a
+        # lock: forking a multithreaded parent copies held locks, and a
+        # child deadlocking on one would burn its whole kill deadline.
+        self.index.snapshot.fingerprint
+        self._lock = threading.Lock()
+        self._live: set = set()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        labels: Iterable[Hashable],
+        *,
+        algorithm: str = "pruneddp++",
+        budget: Optional[Budget] = None,
+        query_id=None,
+        use_result_cache: bool = True,
+        **solver_kwargs,
+    ) -> QueryOutcome:
+        """Run one query in a supervised subprocess (never raises).
+
+        Same contract as :meth:`GraphIndex.execute
+        <repro.service.index.GraphIndex.execute>`; the executor injects
+        this as the pipeline's ``execute`` callable.
+        """
+        labels = tuple(labels)
+        restarts = 0
+        watchdog_kills = 0
+        while True:
+            attempt = self._run_attempt(
+                labels, algorithm, budget, query_id, use_result_cache,
+                solver_kwargs,
+            )
+            if attempt.kind == "delivered":
+                outcome = attempt.outcome
+                outcome.trace.worker_restarts += restarts
+                outcome.trace.watchdog_kills += watchdog_kills
+                return outcome
+            if attempt.kind == "watchdog":
+                # Checkpoint-then-kill already happened (SIGTERM made
+                # the engine checkpoint); do NOT respawn the same
+                # configuration — it would exceed the budget again.
+                # Surfacing retryable lets the ladder resume degraded.
+                watchdog_kills += 1
+                return self._crashed_outcome(
+                    labels,
+                    algorithm,
+                    query_id,
+                    restarts,
+                    watchdog_kills,
+                    reason="memory watchdog",
+                    exitcode=attempt.exitcode,
+                )
+            if attempt.kind == "timeout":
+                return self._crashed_outcome(
+                    labels,
+                    algorithm,
+                    query_id,
+                    restarts,
+                    watchdog_kills,
+                    reason="hard kill deadline",
+                    exitcode=attempt.exitcode,
+                )
+            # Plain crash (kill -9, segfault, OOM-killer): respawn and
+            # resume from the latest checkpoint.
+            restarts += 1
+            if self._closed or restarts > self.policy.max_restarts:
+                return self._crashed_outcome(
+                    labels,
+                    algorithm,
+                    query_id,
+                    restarts,
+                    watchdog_kills,
+                    reason="crashed",
+                    exitcode=attempt.exitcode,
+                )
+
+    # ------------------------------------------------------------------
+    def _run_attempt(
+        self, labels, algorithm, budget, query_id, use_result_cache,
+        solver_kwargs,
+    ) -> _Attempt:
+        policy = self.policy
+        recv, send = self._ctx.Pipe(duplex=False)
+        # The parent's cancellation token cannot cross the fork (it is a
+        # threading.Event); the child builds its own, wired to SIGTERM,
+        # and the supervisor translates token → SIGTERM below.
+        child_budget = budget
+        if budget is not None and budget.cancel_token is not None:
+            child_budget = budget.replace(cancel_token=None)
+        proc = self._ctx.Process(
+            target=_worker_entry,
+            args=(
+                send,
+                self.index,
+                labels,
+                algorithm,
+                child_budget,
+                query_id,
+                use_result_cache,
+                solver_kwargs,
+                self.checkpoint_dir,
+                policy,
+            ),
+            daemon=True,
+        )
+        proc.start()
+        send.close()
+        with self._lock:
+            self._live.add(proc)
+        hard_deadline = (
+            time.monotonic() + policy.hard_timeout_seconds
+            if policy.hard_timeout_seconds is not None
+            else None
+        )
+        term_deadline: Optional[float] = None
+        watchdog = False
+        cancelled = False
+        try:
+            while True:
+                try:
+                    has_data = recv.poll(policy.poll_interval)
+                except (OSError, EOFError):  # pragma: no cover - defensive
+                    has_data = False
+                if has_data:
+                    outcome = self._receive(recv)
+                    self._reap(proc)
+                    if watchdog:
+                        # The checkpoint-on-cancel answer is recorded on
+                        # disk; the delivery itself is superseded by the
+                        # watchdog verdict.
+                        return _Attempt("watchdog", exitcode=proc.exitcode)
+                    if outcome is None:
+                        return _Attempt("crashed", exitcode=proc.exitcode)
+                    return _Attempt("delivered", outcome=outcome)
+                if not proc.is_alive():
+                    # Dead without a poll hit: drain any final message
+                    # that raced the exit, then classify.
+                    outcome = None
+                    try:
+                        if recv.poll(0):
+                            outcome = self._receive(recv)
+                    except (OSError, EOFError):
+                        outcome = None
+                    proc.join()
+                    if watchdog:
+                        return _Attempt("watchdog", exitcode=proc.exitcode)
+                    if outcome is not None:
+                        return _Attempt("delivered", outcome=outcome)
+                    return _Attempt("crashed", exitcode=proc.exitcode)
+                now = time.monotonic()
+                if not cancelled and (
+                    self._closed
+                    or (budget is not None and budget.cancelled())
+                ):
+                    # Translate the parent-side token (or shutdown) into
+                    # SIGTERM: the child checkpoints and returns its
+                    # anytime answer within the grace window.
+                    cancelled = True
+                    self._terminate(proc)
+                    term_deadline = now + policy.kill_grace_seconds
+                if not watchdog and policy.max_rss_mb is not None:
+                    rss = _rss_mb(proc.pid)
+                    if rss is not None and rss > policy.max_rss_mb:
+                        # Checkpoint-then-kill: SIGTERM cancels the
+                        # child's token, the engine writes a final
+                        # checkpoint, then the grace deadline reaps it.
+                        watchdog = True
+                        self._terminate(proc)
+                        term_deadline = now + policy.kill_grace_seconds
+                if term_deadline is not None and now >= term_deadline:
+                    self._kill(proc)
+                    proc.join(1.0)
+                    if watchdog:
+                        return _Attempt("watchdog", exitcode=proc.exitcode)
+                    return _Attempt("crashed", exitcode=proc.exitcode)
+                if hard_deadline is not None and now >= hard_deadline:
+                    self._kill(proc)
+                    proc.join(1.0)
+                    return _Attempt("timeout", exitcode=proc.exitcode)
+        finally:
+            with self._lock:
+                self._live.discard(proc)
+            try:
+                recv.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+            if proc.is_alive():
+                self._kill(proc)
+                proc.join(1.0)
+
+    @staticmethod
+    def _receive(conn):
+        try:
+            return conn.recv()
+        except (EOFError, OSError):
+            return None
+        except Exception:  # unpickling failure: treat as undelivered
+            return None
+
+    def _reap(self, proc) -> None:
+        proc.join(self.policy.kill_grace_seconds)
+        if proc.is_alive():  # pragma: no cover - defensive
+            self._kill(proc)
+            proc.join(1.0)
+
+    @staticmethod
+    def _terminate(proc) -> None:
+        try:
+            proc.terminate()
+        except (OSError, ValueError):  # pragma: no cover - defensive
+            pass
+
+    @staticmethod
+    def _kill(proc) -> None:
+        try:
+            proc.kill()
+        except (OSError, ValueError, AttributeError):  # pragma: no cover
+            pass
+
+    # ------------------------------------------------------------------
+    def _crashed_outcome(
+        self,
+        labels,
+        algorithm,
+        query_id,
+        restarts,
+        watchdog_kills,
+        *,
+        reason: str,
+        exitcode,
+    ) -> QueryOutcome:
+        error = WorkerCrashedError(
+            f"worker solving query {query_id!r} died ({reason}, "
+            f"exitcode={exitcode}) after {restarts} restart(s)",
+            exitcode=exitcode,
+            reason=reason,
+        )
+        outcome = _error_outcome(labels, algorithm, query_id, error)
+        outcome.trace.worker_restarts = restarts
+        outcome.trace.watchdog_kills = watchdog_kills
+        return outcome
+
+    # ------------------------------------------------------------------
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop respawning and terminate any live workers.
+
+        Live workers get SIGTERM (checkpoint + anytime answer); with
+        ``wait=False`` they are killed outright.
+        """
+        self._closed = True
+        with self._lock:
+            live = list(self._live)
+        for proc in live:
+            if wait:
+                self._terminate(proc)
+            else:
+                self._kill(proc)

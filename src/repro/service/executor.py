@@ -29,9 +29,14 @@ shared index, with
   :class:`~repro.service.telemetry.QueryTrace`; give the executor a
   :class:`~repro.service.telemetry.TraceSink` to stream them as JSONL.
 
-Workers are threads: per-label Dijkstras and DP searches release no
-GIL, so the win is cache amortization and overlap of waiting, not CPU
-parallelism — process pools are a later, separate backend.
+Workers are threads by default: per-label Dijkstras and DP searches
+release no GIL, so the win is cache amortization and overlap of
+waiting, not CPU parallelism.  With ``isolation="process"`` each solve
+instead runs in a supervised subprocess
+(:class:`~repro.service.durability.ProcessWorkerPool`): hangs, OOM
+kills, and hard crashes are contained to one query, and — when a
+``checkpoint_dir`` is set — the query resumes from its latest engine
+checkpoint instead of restarting cold.
 """
 
 from __future__ import annotations
@@ -75,9 +80,16 @@ class QueryExecutor:
         retry_policy: Optional[RetryPolicy] = None,
         breaker_policy: Optional[BreakerPolicy] = None,
         certify_cache_hits: bool = False,
+        isolation: str = "thread",
+        checkpoint_dir: Optional[str] = None,
+        worker_policy=None,
     ) -> None:
         if max_workers is not None and max_workers <= 0:
             raise ValueError("max_workers must be positive")
+        if isolation not in ("thread", "process"):
+            raise ValueError(
+                f"isolation must be 'thread' or 'process', got {isolation!r}"
+            )
         self.index = GraphIndex.ensure(index)
         self.max_workers = max_workers or _default_workers()
         self.algorithm = algorithm
@@ -101,6 +113,21 @@ class QueryExecutor:
         self._pool = ThreadPoolExecutor(
             max_workers=self.max_workers, thread_name_prefix="gst-query"
         )
+        # Durability backends (repro.service.durability).  The worker
+        # pool forks lazily-warmed state, so it is built eagerly here —
+        # before any query thread could be holding an index lock.
+        self.isolation = isolation
+        self.checkpoint_dir = checkpoint_dir
+        self.worker_pool = None
+        if isolation == "process":
+            from .durability import ProcessWorkerPool
+
+            self.worker_pool = ProcessWorkerPool(
+                self.index,
+                checkpoint_dir=checkpoint_dir,
+                policy=worker_policy,
+            )
+        self._worker_policy = worker_policy
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -234,8 +261,9 @@ class QueryExecutor:
             ):
                 outcome = None
         if outcome is None:
+            execute = self._execute_callable()
             if self._pipeline.is_noop:
-                outcome = self.index.execute(
+                outcome = execute(
                     labels,
                     algorithm=algorithm,
                     budget=budget,
@@ -251,11 +279,39 @@ class QueryExecutor:
                     budget=budget,
                     query_id=query_id,
                     use_result_cache=False,
+                    execute=execute,
                     **solver_kwargs,
                 )
         if self.trace_sink is not None:
             self.trace_sink.write(outcome.trace)
         return outcome
+
+    def _execute_callable(self):
+        """The solver dispatch every attempt runs through.
+
+        Process isolation routes attempts into the supervised worker
+        pool; a thread-backed executor with a ``checkpoint_dir`` wraps
+        the index in :func:`~repro.service.durability.checkpointed_execute`
+        (same durability guarantees, in-process); otherwise this is the
+        plain ``index.execute``.  Either way the resilience pipeline's
+        admission/retry/breaker machinery composes on top unchanged.
+        """
+        if self.worker_pool is not None:
+            return self.worker_pool.execute
+        if self.checkpoint_dir is not None:
+            from .durability import checkpointed_execute
+
+            def execute(labels, **kwargs):
+                return checkpointed_execute(
+                    self.index,
+                    labels,
+                    checkpoint_dir=self.checkpoint_dir,
+                    policy=self._worker_policy,
+                    **kwargs,
+                )
+
+            return execute
+        return self.index.execute
 
     def _certified_hit(self, outcome: QueryOutcome) -> bool:
         """Certify a cache-served answer; evict and miss on violation."""
@@ -274,9 +330,22 @@ class QueryExecutor:
 
     # ------------------------------------------------------------------
     def shutdown(self, wait: bool = True) -> None:
-        """Stop accepting work and (optionally) wait for the pool."""
+        """Stop accepting work; ``wait=False`` also cancels pending work.
+
+        The guarantee: after ``shutdown(wait=False)`` returns, no
+        *not-yet-started* query will ever run — their futures resolve
+        cancelled instead of lingering in the queue until the process
+        exits (the pre-3.9-style leak this method used to have).
+        Queries already executing are not interrupted either way; pass
+        a :class:`~repro.core.budget.CancellationToken` to stop those
+        cooperatively.  With ``wait=True`` the call blocks until every
+        started query has finished.  Process workers are asked to
+        checkpoint and exit (``wait=True``) or killed (``wait=False``).
+        """
         self._closed = True
-        self._pool.shutdown(wait=wait)
+        if self.worker_pool is not None:
+            self.worker_pool.shutdown(wait=wait)
+        self._pool.shutdown(wait=wait, cancel_futures=not wait)
 
     def __enter__(self) -> "QueryExecutor":
         return self

@@ -45,6 +45,7 @@ from ..errors import (
     LimitExceededError,
     QueryRejectedError,
     ReproError,
+    WorkerCrashedError,
 )
 from .telemetry import QueryTrace
 
@@ -332,6 +333,10 @@ def retryable(outcome) -> bool:
         return False
     if isinstance(error, LimitExceededError):
         return True
+    if isinstance(error, WorkerCrashedError):
+        # A dead worker says nothing about the query; a retry resumes
+        # it from its latest checkpoint (or re-runs it cold).
+        return True
     return not isinstance(error, ReproError)
 
 
@@ -528,14 +533,24 @@ class ResiliencePipeline:
         algorithm: str,
         budget: Optional[Budget],
         query_id=None,
+        execute=None,
         **solver_kwargs,
     ):
+        """Run one query through admission → breakers → retry ladder.
+
+        ``execute`` overrides how each attempt actually runs (same
+        signature and never-raises contract as ``index.execute``); the
+        process-isolation backend injects its worker dispatch here so
+        crashed workers flow through the same ladder as timeouts.
+        """
         labels = tuple(labels)
+        if execute is None:
+            execute = index.execute
         try:
             requested = index.resolve_algorithm(algorithm, labels)
         except ValueError:
             # Unknown algorithm: let execute() capture it the usual way.
-            return index.execute(
+            return execute(
                 labels,
                 algorithm=algorithm,
                 budget=budget,
@@ -603,7 +618,7 @@ class ResiliencePipeline:
                         attempt_budget, failures
                     )
 
-            outcome = index.execute(
+            outcome = execute(
                 labels,
                 algorithm=algo,
                 budget=attempt_budget,

@@ -97,6 +97,17 @@ class QueryTrace:
     cancelled: bool = False
     breaker_skips: List[str] = field(default_factory=list)
     admission: Optional[Dict[str, Any]] = None
+    # Durability fields (see repro.service.durability): ``checkpoints``
+    # counts engine checkpoints written while this query ran,
+    # ``resumed_from`` names the checkpoint file the search was restored
+    # from (None for cold solves), ``worker_restarts`` counts process
+    # workers respawned on this query's behalf after crashes, and
+    # ``watchdog_kills`` counts memory-watchdog checkpoint-then-kill
+    # interventions.
+    checkpoints: int = 0
+    resumed_from: Optional[str] = None
+    worker_restarts: int = 0
+    watchdog_kills: int = 0
 
     @property
     def ok(self) -> bool:
@@ -145,6 +156,10 @@ class QueryTrace:
             "cancelled": self.cancelled,
             "breaker_skips": list(self.breaker_skips),
             "admission": self.admission,
+            "checkpoints": self.checkpoints,
+            "resumed_from": self.resumed_from,
+            "worker_restarts": self.worker_restarts,
+            "watchdog_kills": self.watchdog_kills,
         }
 
     def to_json(self) -> str:

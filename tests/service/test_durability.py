@@ -1,0 +1,515 @@
+"""The durability layer's contract: checkpoint, crash, resume, certify.
+
+Three layers of guarantee, each tested against the real engine:
+
+* **Checkpoint round-trip** — an engine checkpoint serializes the full
+  frontier (queue, pending, settled store, incumbent, global bound) and
+  a restored engine finishes with exactly the uninterrupted run's
+  answer, on both the CSR and the legacy loop.
+* **Fail-closed corruption handling** — truncated files, flipped CRC
+  bytes, version skew, and wrong-graph fingerprints each raise their
+  typed :class:`~repro.errors.StoreError` subclass, and the execution
+  path falls back to a cold solve instead of wedging.
+* **Crash containment** — a process worker SIGKILLed mid-search is
+  respawned, resumes from its latest checkpoint, and delivers a
+  certified answer identical in weight to an uninterrupted run; memory
+  watchdog and hard-timeout kills surface as retryable
+  :class:`~repro.errors.WorkerCrashedError`.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+
+import pytest
+
+from repro.core.budget import Budget, CancellationToken
+from repro.errors import (
+    StoreCorruptError,
+    StoreError,
+    StoreFingerprintError,
+    StoreVersionError,
+    WorkerCrashedError,
+)
+from repro.graph import generators
+from repro.service import (
+    Checkpointer,
+    GraphIndex,
+    ProcessWorkerPool,
+    QueryExecutor,
+    RetryPolicy,
+    WorkerPolicy,
+    checkpointed_execute,
+    read_checkpoint,
+    resume_query,
+    write_checkpoint,
+)
+from repro.service.durability import checkpoint_meta, checkpoint_path
+from repro.verify.certify import certify_result
+
+LABELS = ("q0", "q1", "q2", "q3", "q4")
+
+
+@pytest.fixture(scope="module")
+def graph():
+    # Big enough that a 5-label query pops >1000 states (the engine
+    # checks limits every 256 pops, so anything smaller can prove
+    # optimality before an interruption ever lands): room for
+    # interruption, checkpoint cadence, and resume to all matter.
+    return generators.random_graph(
+        400, 1200, num_query_labels=6, label_frequency=8, seed=7
+    )
+
+
+@pytest.fixture(scope="module")
+def index(graph):
+    return GraphIndex(graph)
+
+
+@pytest.fixture(scope="module")
+def reference(index):
+    """The uninterrupted run every resumed answer must match."""
+    outcome = index.execute(LABELS, algorithm="pruneddp++")
+    assert outcome.ok and outcome.result.optimal
+    return outcome.result
+
+
+def _interrupt(index, tmp_path, *, algorithm="pruneddp++", max_states=150):
+    """Run until ``max_states`` with a tight cadence; return the path."""
+    policy = WorkerPolicy(checkpoint_every_pops=25, checkpoint_every_seconds=None)
+    outcome = checkpointed_execute(
+        index,
+        LABELS,
+        algorithm=algorithm,
+        budget=Budget(max_states=max_states, on_limit="return"),
+        checkpoint_dir=str(tmp_path),
+        policy=policy,
+    )
+    assert outcome.ok
+    assert not outcome.result.optimal, "query must be interrupted mid-search"
+    assert outcome.trace.checkpoints >= 1
+    path = checkpoint_path(str(tmp_path), index.snapshot.fingerprint, LABELS)
+    assert os.path.exists(path)
+    return path
+
+
+# ----------------------------------------------------------------------
+# Checkpoint / resume equivalence
+# ----------------------------------------------------------------------
+class TestResumeEquivalence:
+    def test_resume_matches_uninterrupted_run(self, index, reference, tmp_path):
+        path = _interrupt(index, tmp_path)
+        outcome = resume_query(index, path)
+        assert outcome.ok
+        assert outcome.result.optimal
+        assert outcome.result.weight == pytest.approx(reference.weight)
+        assert outcome.trace.resumed_from == path
+        # A proven-optimal finish discards its checkpoint.
+        assert not os.path.exists(path)
+
+    def test_resumed_answer_certifies(self, graph, index, tmp_path):
+        path = _interrupt(index, tmp_path)
+        outcome = resume_query(index, path)
+        certificate = certify_result(graph, outcome.result, labels=LABELS)
+        assert certificate.ok, certificate
+
+    def test_resume_at_random_pop_counts(self, index, reference, tmp_path):
+        # Kill the search at assorted depths; every resume must converge
+        # to the same optimal weight.
+        for i, max_states in enumerate((40, 90, 260)):
+            sub = tmp_path / f"cut{i}"
+            sub.mkdir()
+            path = _interrupt(index, sub, max_states=max_states)
+            outcome = resume_query(index, path)
+            assert outcome.ok and outcome.result.optimal
+            assert outcome.result.weight == pytest.approx(reference.weight)
+
+    def test_resume_is_cumulative_not_cold(self, index, reference, tmp_path):
+        path = _interrupt(index, tmp_path, max_states=150)
+        outcome = resume_query(index, path)
+        # Counters are cumulative across the interruption: the resumed
+        # total matches the uninterrupted run, so no work was redone.
+        assert (
+            outcome.result.stats.states_popped
+            == reference.stats.states_popped
+        )
+
+    def test_legacy_loop_round_trip(self, graph, reference, tmp_path):
+        # The legacy (non-CSR) engine loop keeps tuple state keys; the
+        # checkpoint normalizes them to packed ints and restore must
+        # repack them. basic runs legacy when the snapshot is absent —
+        # simplest equivalent: checkpoint+restore through the engine
+        # API directly on a fresh context.
+        from repro.core.algorithms import PrunedDPPlusPlusSolver
+
+        solver = PrunedDPPlusPlusSolver(
+            graph, LABELS, budget=Budget(max_states=120, on_limit="return")
+        )
+        context = solver.build_context()
+        context.snapshot = None  # force the legacy loop
+        prepared = solver.prepare(context)
+        meta = checkpoint_meta("fp", LABELS, "pruneddp++")
+        path = str(tmp_path / "legacy.ckpt")
+        solver.checkpointer = Checkpointer(
+            path, meta, every_pops=25, every_seconds=None
+        )
+        partial = solver.run_search(context, prepared)
+        assert not partial.optimal
+        _, state = read_checkpoint(path)
+
+        resumed = PrunedDPPlusPlusSolver(graph, LABELS, restore_state=state)
+        context2 = resumed.build_context()
+        context2.snapshot = None
+        result = resumed.run_search(context2, resumed.prepare(context2))
+        assert result.optimal
+        assert result.weight == pytest.approx(reference.weight)
+
+    def test_cross_loop_restore(self, graph, reference, tmp_path):
+        # A checkpoint taken on the legacy loop restores onto the CSR
+        # loop (and vice versa): keys are stored packed, repacked per
+        # target loop.
+        from repro.core.algorithms import PrunedDPPlusPlusSolver
+
+        solver = PrunedDPPlusPlusSolver(
+            graph, LABELS, budget=Budget(max_states=120, on_limit="return")
+        )
+        context = solver.build_context()
+        context.snapshot = None
+        meta = checkpoint_meta("fp", LABELS, "pruneddp++")
+        path = str(tmp_path / "cross.ckpt")
+        solver.checkpointer = Checkpointer(
+            path, meta, every_pops=25, every_seconds=None
+        )
+        solver.run_search(context, solver.prepare(context))
+        _, state = read_checkpoint(path)
+
+        resumed = PrunedDPPlusPlusSolver(graph, LABELS, restore_state=state)
+        result = resumed.solve()  # CSR loop: snapshot left in place
+        assert result.optimal
+        assert result.weight == pytest.approx(reference.weight)
+
+
+# ----------------------------------------------------------------------
+# Corruption: typed errors + cold-solve fallback
+# ----------------------------------------------------------------------
+class TestCheckpointCorruption:
+    def _checkpoint(self, index, tmp_path):
+        return _interrupt(index, tmp_path)
+
+    def test_truncated_file(self, index, tmp_path):
+        path = self._checkpoint(index, tmp_path)
+        data = open(path, "rb").read()
+        with open(path, "wb") as fh:
+            fh.write(data[: len(data) // 2])
+        with pytest.raises(StoreCorruptError):
+            read_checkpoint(path)
+
+    def test_flipped_crc_byte(self, index, tmp_path):
+        path = self._checkpoint(index, tmp_path)
+        data = bytearray(open(path, "rb").read())
+        data[-1] ^= 0xFF  # flip a payload byte: CRC no longer matches
+        with open(path, "wb") as fh:
+            fh.write(bytes(data))
+        with pytest.raises(StoreCorruptError):
+            read_checkpoint(path)
+
+    def test_version_skew(self, index, tmp_path):
+        path = self._checkpoint(index, tmp_path)
+        meta, state = read_checkpoint(path)
+        meta["checkpoint_version"] = 999
+        write_checkpoint(path, meta, state)
+        with pytest.raises(StoreVersionError):
+            read_checkpoint(path)
+
+    def test_container_version_skew(self, index, tmp_path):
+        path = self._checkpoint(index, tmp_path)
+        data = bytearray(open(path, "rb").read())
+        # Bump the container format version in the 12-byte header.
+        data[8:12] = struct.pack("<I", 999)
+        with open(path, "wb") as fh:
+            fh.write(bytes(data))
+        with pytest.raises(StoreVersionError):
+            read_checkpoint(path)
+
+    def test_fingerprint_mismatch(self, index, tmp_path):
+        path = self._checkpoint(index, tmp_path)
+        with pytest.raises(StoreFingerprintError):
+            read_checkpoint(path, expect_fingerprint="not-this-graph")
+        # And resume_query, which always binds to the live index, must
+        # refuse a checkpoint rebound to another graph.
+        meta, state = read_checkpoint(path)
+        meta["fingerprint"] = "deadbeef" * 8
+        write_checkpoint(path, meta, state)
+        with pytest.raises(StoreFingerprintError):
+            resume_query(index, path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(StoreCorruptError):
+            read_checkpoint(str(tmp_path / "nope.ckpt"))
+
+    @pytest.mark.parametrize(
+        "corrupt",
+        ["truncate", "crc", "version", "fingerprint"],
+        ids=["truncated", "crc-flip", "version-skew", "wrong-graph"],
+    )
+    def test_cold_solve_fallback(self, index, reference, tmp_path, corrupt):
+        # Every corruption mode falls back to a *cold solve* through
+        # checkpointed_execute: the broken file is removed, the query
+        # still answers, and nothing was "resumed".
+        path = self._checkpoint(index, tmp_path)
+        if corrupt == "truncate":
+            data = open(path, "rb").read()
+            with open(path, "wb") as fh:
+                fh.write(data[: len(data) // 2])
+        elif corrupt == "crc":
+            data = bytearray(open(path, "rb").read())
+            data[-1] ^= 0xFF
+            with open(path, "wb") as fh:
+                fh.write(bytes(data))
+        elif corrupt == "version":
+            meta, state = read_checkpoint(path)
+            meta["checkpoint_version"] = 999
+            write_checkpoint(path, meta, state)
+        else:
+            meta, state = read_checkpoint(path)
+            meta["fingerprint"] = "deadbeef" * 8
+            write_checkpoint(path, meta, state)
+        outcome = checkpointed_execute(
+            index, LABELS, algorithm="pruneddp++", checkpoint_dir=str(tmp_path)
+        )
+        assert outcome.ok
+        assert outcome.trace.resumed_from is None
+        assert outcome.result.optimal
+        assert outcome.result.weight == pytest.approx(reference.weight)
+
+
+# ----------------------------------------------------------------------
+# Checkpointer mechanics
+# ----------------------------------------------------------------------
+class TestCheckpointer:
+    def test_atomic_write_leaves_no_tmp(self, index, tmp_path):
+        path = _interrupt(index, tmp_path)
+        assert os.listdir(str(tmp_path)) == [os.path.basename(path)]
+
+    def test_optimal_run_discards_checkpoint(self, index, tmp_path):
+        outcome = checkpointed_execute(
+            index,
+            LABELS,
+            algorithm="pruneddp++",
+            checkpoint_dir=str(tmp_path),
+            policy=WorkerPolicy(
+                checkpoint_every_pops=25, checkpoint_every_seconds=None
+            ),
+        )
+        assert outcome.ok and outcome.result.optimal
+        assert outcome.trace.checkpoints >= 1
+        assert os.listdir(str(tmp_path)) == []
+
+    def test_cancellation_forces_final_checkpoint(self, index, tmp_path):
+        token = CancellationToken()
+        seen = []
+
+        def on_write(ckpt):
+            seen.append(ckpt.written)
+            if len(seen) == 1:
+                token.cancel("test cut")
+
+        outcome = checkpointed_execute(
+            index,
+            LABELS,
+            algorithm="pruneddp++",
+            budget=Budget(cancel_token=token),
+            checkpoint_dir=str(tmp_path),
+            policy=WorkerPolicy(
+                checkpoint_every_pops=25, checkpoint_every_seconds=None
+            ),
+            on_write=on_write,
+        )
+        # The cancellation path writes one final forced checkpoint on
+        # top of the cadence write that triggered it.
+        assert outcome.trace.checkpoints >= 2
+        path = checkpoint_path(
+            str(tmp_path), index.snapshot.fingerprint, LABELS
+        )
+        assert os.path.exists(path)
+
+    def test_dpbf_runs_without_durability(self, index, tmp_path):
+        # Non-progressive baselines can't checkpoint; they still run.
+        outcome = checkpointed_execute(
+            index, LABELS, algorithm="dpbf", checkpoint_dir=str(tmp_path)
+        )
+        assert outcome.ok
+        assert outcome.trace.checkpoints == 0
+
+    def test_bad_cadence_rejected(self, tmp_path):
+        meta = checkpoint_meta("fp", LABELS, "basic")
+        with pytest.raises(ValueError):
+            Checkpointer(str(tmp_path / "x"), meta, every_pops=0)
+        with pytest.raises(ValueError):
+            Checkpointer(str(tmp_path / "x"), meta, every_seconds=0.0)
+
+
+# ----------------------------------------------------------------------
+# Process isolation
+# ----------------------------------------------------------------------
+class TestProcessIsolation:
+    def test_basic_delivery(self, index, reference, tmp_path):
+        pool = ProcessWorkerPool(index, checkpoint_dir=str(tmp_path))
+        try:
+            outcome = pool.execute(LABELS, algorithm="pruneddp++")
+        finally:
+            pool.shutdown()
+        assert outcome.ok
+        assert outcome.result.weight == pytest.approx(reference.weight)
+        assert outcome.trace.worker_restarts == 0
+
+    def test_kill_dash_nine_resumes_and_certifies(
+        self, graph, index, reference, tmp_path
+    ):
+        # The acceptance criterion: SIGKILL a worker mid-search; the
+        # pool respawns it, the respawn resumes from the last
+        # checkpoint, and the final answer is certified identical in
+        # weight to the uninterrupted run.
+        policy = WorkerPolicy(
+            checkpoint_every_pops=25,
+            checkpoint_every_seconds=None,
+            chaos_kill_after_checkpoints=2,
+        )
+        pool = ProcessWorkerPool(
+            index, checkpoint_dir=str(tmp_path), policy=policy
+        )
+        try:
+            outcome = pool.execute(LABELS, algorithm="pruneddp++")
+        finally:
+            pool.shutdown()
+        assert outcome.ok
+        assert outcome.trace.worker_restarts >= 1
+        assert outcome.trace.resumed_from is not None
+        assert outcome.result.optimal
+        assert outcome.result.weight == pytest.approx(reference.weight)
+        certificate = certify_result(graph, outcome.result, labels=LABELS)
+        assert certificate.ok, certificate
+
+    def test_restart_budget_exhausts_to_typed_error(self, index, tmp_path):
+        # A worker that dies before it can even checkpoint (cadence
+        # never fires) crashes identically on every respawn; the pool
+        # must give up after max_restarts with a typed error.
+        policy = WorkerPolicy(
+            checkpoint_every_pops=1,
+            checkpoint_every_seconds=None,
+            chaos_kill_after_checkpoints=1,
+            max_restarts=0,
+        )
+        pool = ProcessWorkerPool(
+            index, checkpoint_dir=str(tmp_path), policy=policy
+        )
+        try:
+            outcome = pool.execute(LABELS, algorithm="pruneddp++")
+        finally:
+            pool.shutdown()
+        assert not outcome.ok
+        assert isinstance(outcome.error, WorkerCrashedError)
+        assert outcome.trace.worker_restarts == 1  # the one failed respawn
+
+    def test_memory_watchdog_checkpoint_then_kill(self, index, tmp_path):
+        policy = WorkerPolicy(
+            max_rss_mb=1.0,  # absurd: trips on the first RSS sample
+            kill_grace_seconds=5.0,
+            checkpoint_every_pops=25,
+            checkpoint_every_seconds=None,
+        )
+        pool = ProcessWorkerPool(
+            index, checkpoint_dir=str(tmp_path), policy=policy
+        )
+        try:
+            outcome = pool.execute(LABELS, algorithm="pruneddp++")
+        finally:
+            pool.shutdown()
+        assert not outcome.ok
+        assert isinstance(outcome.error, WorkerCrashedError)
+        assert outcome.error.reason == "memory watchdog"
+        assert outcome.trace.watchdog_kills == 1
+
+    def test_watchdog_crash_is_retryable_through_ladder(self, index, tmp_path):
+        # WorkerCrashedError is retryable: the executor's retry ladder
+        # turns a watchdog kill into a degraded-but-answered query.
+        from repro.service.durability import _error_outcome
+        from repro.service.resilience import retryable
+
+        crashed = _error_outcome(
+            LABELS, "pruneddp++", 0, WorkerCrashedError("boom")
+        )
+        assert retryable(crashed)
+
+    def test_hard_timeout_contains_hang(self, index, tmp_path):
+        import time as _t
+
+        policy = WorkerPolicy(
+            hard_timeout_seconds=0.3,
+            poll_interval=0.02,
+            checkpoint_every_pops=None,
+            checkpoint_every_seconds=None,
+        )
+        pool = ProcessWorkerPool(index, checkpoint_dir=None, policy=policy)
+        started = _t.monotonic()
+        try:
+            # A query this size takes ~1s in-process; the deadline must
+            # cut it off (or it finishes faster — then it delivered,
+            # which is also a pass for containment purposes).
+            outcome = pool.execute(
+                LABELS, algorithm="basic", budget=Budget(time_limit=30.0)
+            )
+        finally:
+            pool.shutdown()
+        elapsed = _t.monotonic() - started
+        assert elapsed < 10.0
+        if not outcome.ok:
+            assert isinstance(outcome.error, WorkerCrashedError)
+            assert outcome.error.reason == "hard kill deadline"
+
+    def test_executor_process_isolation_batch(self, index, reference, tmp_path):
+        with QueryExecutor(
+            index,
+            max_workers=2,
+            isolation="process",
+            checkpoint_dir=str(tmp_path),
+        ) as executor:
+            outcomes = executor.run_batch([LABELS, ("q0", "q1")])
+        assert all(o.ok for o in outcomes)
+        assert outcomes[0].result.weight == pytest.approx(reference.weight)
+
+    def test_executor_rejects_unknown_isolation(self, index):
+        with pytest.raises(ValueError):
+            QueryExecutor(index, isolation="fiber")
+
+
+# ----------------------------------------------------------------------
+# Executor shutdown satellite
+# ----------------------------------------------------------------------
+class TestShutdownCancelsPending:
+    def test_pending_futures_cancelled_on_unclean_shutdown(self, index):
+        import threading
+
+        release = threading.Event()
+        started = threading.Event()
+
+        executor = QueryExecutor(index, max_workers=1)
+        # Occupy the single worker so later submissions stay queued.
+        blocker = executor._pool.submit(
+            lambda: (started.set(), release.wait(10.0))
+        )
+        started.wait(5.0)
+        pending = [executor.submit(LABELS) for _ in range(4)]
+        executor.shutdown(wait=False)
+        release.set()
+        blocker.result(5.0)
+        # The documented guarantee: not-yet-started futures resolve
+        # cancelled instead of lingering until interpreter exit.
+        assert all(f.cancelled() for f in pending)
+
+    def test_clean_shutdown_still_drains(self, index):
+        executor = QueryExecutor(index, max_workers=1)
+        future = executor.submit(("q0", "q1"))
+        executor.shutdown(wait=True)
+        assert future.result(5.0).ok

@@ -367,3 +367,144 @@ class TestFuzz:
         )
         assert code == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestResume:
+    """batch --checkpoint-dir leaves resumable work; resume finishes it."""
+
+    @pytest.fixture
+    def hard_graph(self, tmp_path):
+        # >1000 engine pops on the 5-label query below: the engine
+        # checks limits every 256 pops, so smaller instances prove
+        # optimality before --max-states can ever interrupt them.
+        graph = generators.random_graph(
+            400, 1200, num_query_labels=6, label_frequency=8, seed=7
+        )
+        stem = str(tmp_path / "hard")
+        save_graph(graph, stem)
+        return stem
+
+    @pytest.fixture
+    def hard_queries(self, tmp_path):
+        path = tmp_path / "hard-queries.txt"
+        path.write_text("q0,q1,q2,q3,q4\n", encoding="utf-8")
+        return str(path)
+
+    def test_interrupted_batch_then_resume(
+        self, hard_graph, hard_queries, tmp_path, capsys
+    ):
+        ckpts = str(tmp_path / "ckpts")
+        code = main([
+            "batch", "--graph", hard_graph, "--queries", hard_queries,
+            "--max-states", "150", "--checkpoint-dir", ckpts,
+            "--checkpoint-every", "50", "--quiet",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "durability:" in out and "checkpoints written" in out
+        import os
+
+        files = os.listdir(ckpts)
+        assert len(files) == 1 and files[0].endswith(".ckpt")
+
+        code = main(["resume", "--graph", hard_graph,
+                     "--checkpoint-dir", ckpts])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "optimal" in out
+        assert "resume: 1 completed, 0 failed of 1" in out
+        # Proven-optimal finishes discard their checkpoints.
+        assert os.listdir(ckpts) == []
+
+    def test_resume_single_file_json(
+        self, hard_graph, hard_queries, tmp_path, capsys
+    ):
+        import json
+        import os
+
+        ckpts = str(tmp_path / "ckpts")
+        main([
+            "batch", "--graph", hard_graph, "--queries", hard_queries,
+            "--max-states", "150", "--checkpoint-dir", ckpts,
+            "--checkpoint-every", "50", "--quiet",
+        ])
+        capsys.readouterr()
+        path = os.path.join(ckpts, os.listdir(ckpts)[0])
+        code = main([
+            "resume", "--graph", hard_graph, "--checkpoint", path, "--json",
+        ])
+        assert code == 0
+        lines = [
+            line for line in capsys.readouterr().out.splitlines()
+            if line.startswith("{")
+        ]
+        record = json.loads(lines[0])
+        assert record["optimal"] is True
+        assert record["resumed_from"] == path
+        assert record["checkpoint"] == path
+
+    def test_resume_corrupt_checkpoint_fails_typed(
+        self, hard_graph, hard_queries, tmp_path, capsys
+    ):
+        import os
+
+        ckpts = str(tmp_path / "ckpts")
+        main([
+            "batch", "--graph", hard_graph, "--queries", hard_queries,
+            "--max-states", "150", "--checkpoint-dir", ckpts,
+            "--checkpoint-every", "50", "--quiet",
+        ])
+        capsys.readouterr()
+        path = os.path.join(ckpts, os.listdir(ckpts)[0])
+        with open(path, "r+b") as fh:
+            fh.seek(-1, 2)
+            fh.write(b"\xff")
+        code = main(["resume", "--graph", hard_graph, "--checkpoint", path])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "checksum" in captured.err
+        assert "1 failed" in captured.out
+
+    def test_resume_wrong_graph_fails_typed(
+        self, hard_graph, hard_queries, stored_graph, tmp_path, capsys
+    ):
+        import os
+
+        ckpts = str(tmp_path / "ckpts")
+        main([
+            "batch", "--graph", hard_graph, "--queries", hard_queries,
+            "--max-states", "150", "--checkpoint-dir", ckpts,
+            "--checkpoint-every", "50", "--quiet",
+        ])
+        capsys.readouterr()
+        other_stem, _ = stored_graph
+        path = os.path.join(ckpts, os.listdir(ckpts)[0])
+        code = main(["resume", "--graph", other_stem, "--checkpoint", path])
+        assert code == 2
+        assert "different graph" in capsys.readouterr().err
+
+    def test_resume_empty_dir_is_noop(self, hard_graph, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        code = main([
+            "resume", "--graph", hard_graph, "--checkpoint-dir", str(empty),
+        ])
+        assert code == 0
+        assert "nothing to do" in capsys.readouterr().out
+
+    def test_resume_needs_exactly_one_source(self, hard_graph, capsys):
+        assert main(["resume", "--graph", hard_graph]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_batch_process_isolation(
+        self, hard_graph, hard_queries, tmp_path, capsys
+    ):
+        ckpts = str(tmp_path / "ckpts")
+        code = main([
+            "batch", "--graph", hard_graph, "--queries", hard_queries,
+            "--isolation", "process", "--checkpoint-dir", ckpts,
+            "--checkpoint-every", "100", "--quiet",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1 ok" in out and "process workers" in out
