@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Anytime consumption of a GST query over the wire (repro.server).
+
+Spins up a :class:`repro.server.GSTServer` on a background thread —
+standing in for a real deployment of ``python -m repro serve`` — then
+queries it with the blocking client and consumes the progressive
+answer stream:
+
+* every improved incumbent arrives as a PROGRESS frame the moment the
+  engine reports it; the demo prints the UB/LB ratio as frames land;
+* the consumer is *anytime*: once the proven ratio drops below 1+eps
+  it sends CANCEL and takes the current incumbent — the remaining
+  search is work it no longer wants;
+* the terminal RESULT (status "cancelled") still carries that best
+  tree, the progressive contract surviving the early stop.
+
+Run:  python examples/streaming_client_demo.py
+"""
+
+import asyncio
+import threading
+
+from repro.graph import generators
+from repro.server import GSTClient, GSTServer
+
+EPSILON = 0.20  # stop as soon as weight <= (1 + 20%) * optimum, proven
+QUERY = ["q0", "q1", "q2", "q3"]
+
+
+def serve_in_background(graph):
+    """A self-contained stand-in for `python -m repro serve`."""
+    ready = threading.Event()
+    box = {}
+
+    def run():
+        async def main():
+            server = GSTServer(graph, port=0, algorithm="basic")
+            await server.start()
+            box["server"], box["loop"] = server, asyncio.get_running_loop()
+            box["done"] = asyncio.Event()
+            ready.set()
+            await box["done"].wait()
+            await server.drain()
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    ready.wait()
+
+    def stop():
+        box["loop"].call_soon_threadsafe(box["done"].set)
+        thread.join()
+
+    return box["server"], stop
+
+
+def main() -> None:
+    graph = generators.random_graph(
+        400, 1200, num_query_labels=8, label_frequency=6, seed=5
+    )
+    server, stop = serve_in_background(graph)
+    print(f"server listening on 127.0.0.1:{server.port}")
+
+    with GSTClient("127.0.0.1", server.port) as client:
+        info = client.hello["graph"]
+        print(f"HELLO: {info['nodes']} nodes, {info['edges']} edges, "
+              f"{info['labels']} labels\n")
+        print(f"query {QUERY}, stopping early at ratio <= {1 + EPSILON:.2f}")
+        frames = 0
+        final = None
+        cancelled = False
+        for update in client.solve_stream(QUERY):
+            frames += 1
+            if update.final:
+                final = update
+                break
+            ub = ("inf" if update.best_weight == float("inf")
+                  else f"{update.best_weight:.3f}")
+            ratio = ("inf" if update.ratio == float("inf")
+                     else f"{update.ratio:.4f}")
+            # Print a heartbeat, not every frame: big searches improve
+            # their incumbent thousands of times.
+            if frames % 25 == 1 or update.ratio <= 1 + EPSILON:
+                print(f"  t={update.elapsed * 1e3:8.1f}ms  UB={ub:>9}  "
+                      f"LB={update.lower_bound:8.3f}  ratio<={ratio}")
+            if not cancelled and update.ratio <= 1 + EPSILON:
+                print("  good enough — cancelling the rest of the search")
+                client.cancel(update.query_id)
+                cancelled = True
+
+        print(f"\nRESULT: status={final.status} weight={final.best_weight:g} "
+              f"proven ratio<={final.ratio:.4f} "
+              f"({frames - 1} progress frames)")
+        tree = final.result["tree"]
+        print(f"tree: {len(tree['nodes'])} nodes, {len(tree['edges'])} edges")
+
+    stop()
+    print(f"server drained: {server.stats.progress_frames_sent} progress "
+          f"frames streamed over {server.stats.connections_accepted} "
+          f"connection(s)")
+
+
+if __name__ == "__main__":
+    main()

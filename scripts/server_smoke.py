@@ -1,0 +1,141 @@
+#!/usr/bin/env python
+"""Server smoke: the streaming deployment shape, end to end.
+
+The :mod:`repro.server` acceptance check, runnable anywhere (CI job,
+cron, laptop): generate a graph, launch a real ``python -m repro
+serve`` subprocess, query it over TCP with the blocking client, then
+SIGTERM it.  The run fails loudly unless
+
+* the client observes at least one ``PROGRESS`` frame before the
+  ``RESULT`` — the wire actually streams the anytime UB/LB curve, it
+  does not batch it;
+* the UB/LB ratio across the stream is non-increasing (the
+  progressive contract survives serialization);
+* the final answer *certifies*: the tree shipped over the wire is
+  re-validated against the graph from first principles by
+  :func:`repro.verify.certify_result`;
+* SIGTERM drains gracefully — the server exits 0 after flushing its
+  trace sink, and every line in the sink is whole JSON.
+
+Exit code 0 on success, 1 with a diagnostic on any violation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+QUERY = ["q0", "q1", "q2"]
+
+
+def fail(message: str) -> int:
+    print(f"server_smoke: FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def main() -> int:
+    from repro.core.result import GSTResult, SearchStats
+    from repro.core.tree import SteinerTree
+    from repro.graph import generators
+    from repro.graph.io import save_graph
+    from repro.server import GSTClient
+    from repro.verify.certify import certify_result
+
+    tmp = tempfile.mkdtemp(prefix="server-smoke-")
+    stem = os.path.join(tmp, "graph")
+    traces = os.path.join(tmp, "traces.jsonl")
+    graph = generators.random_graph(
+        200, 600, num_query_labels=6, label_frequency=5, seed=11
+    )
+    save_graph(graph, stem)
+
+    # --port 0 lets the OS pick; the server announces the bound port on
+    # stdout, which is the smoke's only coupling to its output format.
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--graph", stem, "--port", "0",
+            "--algorithm", "basic", "--traces", traces,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        banner = proc.stdout.readline()
+        match = re.search(r"on \S+:(\d+)", banner)
+        if not match:
+            return fail(f"no port announcement in banner: {banner!r}")
+        port = int(match.group(1))
+
+        updates = []
+        with GSTClient("127.0.0.1", port, timeout=60) as client:
+            for update in client.solve_stream(QUERY):
+                updates.append(update)
+        progress = [u for u in updates if not u.final]
+        final = updates[-1]
+        if not progress:
+            return fail("no PROGRESS frame arrived before the RESULT")
+        if not final.final:
+            return fail("stream did not end with a RESULT frame")
+        ratios = [u.ratio for u in updates]
+        if any(b > a + 1e-9 for a, b in zip(ratios, ratios[1:])):
+            return fail(f"UB/LB ratio increased along the stream: {ratios}")
+
+        # Rebuild a GSTResult from the wire payload and certify it
+        # against the live graph — the answer a remote client holds is
+        # exactly as trustworthy as an in-process one.
+        frame = final.result
+        result = GSTResult(
+            algorithm=frame["algorithm"],
+            labels=tuple(QUERY),
+            tree=SteinerTree(
+                [tuple(edge) for edge in frame["tree"]["edges"]],
+                nodes=frame["tree"]["nodes"],
+            ),
+            weight=frame["weight"],
+            lower_bound=frame["lower_bound"],
+            optimal=frame["optimal"],
+            stats=SearchStats(),
+        )
+        certificate = certify_result(graph, result, labels=QUERY)
+        if not certificate.ok:
+            return fail(f"answer failed certification: {certificate.violations}")
+
+        proc.send_signal(signal.SIGTERM)
+        try:
+            returncode = proc.wait(timeout=60)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            return fail("server did not drain within 60s of SIGTERM")
+        if returncode != 0:
+            return fail(f"drain exited {returncode}, expected 0")
+
+        with open(traces, encoding="utf-8") as handle:
+            records = [json.loads(line) for line in handle]
+        if len(records) != 1 or records[0]["status"] != "ok":
+            return fail(f"trace sink not flushed correctly: {records}")
+
+        print(
+            f"server_smoke: OK — {len(progress)} progress frames, final "
+            f"weight {final.best_weight:g} certified, drained exit 0 "
+            f"({len(records)} trace record)"
+        )
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+
+if __name__ == "__main__":
+    started = time.perf_counter()
+    code = main()
+    print(f"server_smoke: {time.perf_counter() - started:.1f}s", file=sys.stderr)
+    sys.exit(code)

@@ -30,6 +30,8 @@ from .errors import (
     QueryRejectedError,
     QueryCancelledError,
     CircuitOpenError,
+    ProtocolError,
+    RemoteQueryError,
     StoreError,
     StoreCorruptError,
     StoreVersionError,
@@ -75,6 +77,12 @@ from .store import (
     ResultCache,
     build_store,
 )
+from .server import (
+    AsyncGSTClient,
+    GSTClient,
+    GSTServer,
+    StreamUpdate,
+)
 
 __version__ = "1.0.0"
 
@@ -106,6 +114,8 @@ __all__ = [
     "QueryRejectedError",
     "QueryCancelledError",
     "CircuitOpenError",
+    "ProtocolError",
+    "RemoteQueryError",
     "StoreError",
     "StoreCorruptError",
     "StoreVersionError",
@@ -125,5 +135,9 @@ __all__ = [
     "WorkerPolicy",
     "checkpointed_execute",
     "resume_query",
+    "GSTServer",
+    "GSTClient",
+    "AsyncGSTClient",
+    "StreamUpdate",
     "__version__",
 ]

@@ -4,6 +4,9 @@ Commands
 --------
 ``solve``       Run a GST query over a graph stored on disk.
 ``batch``       Serve a file of queries concurrently over one shared index.
+``serve``       Run the streaming TCP query server (:mod:`repro.server`):
+                clients get a PROGRESS frame per improved incumbent and
+                a terminal RESULT; SIGTERM/SIGINT drain gracefully.
 ``precompute``  Materialize a persistent precompute store (``repro.store``).
 ``generate``    Produce a synthetic dataset (edge/label files).
 ``info``        Summarize a stored graph.
@@ -150,6 +153,48 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--worker-timeout", type=float, default=None,
                        help="with --isolation=process: hard wall-clock kill "
                             "deadline per worker in seconds")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the streaming TCP query server (repro.server)",
+    )
+    serve.add_argument("--graph", required=True, help="graph file stem")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=7464,
+                       help="TCP port (0 picks a free one; default 7464)")
+    serve.add_argument(
+        "--algorithm",
+        default="pruneddp++",
+        choices=sorted(ALGORITHMS) + ["auto"],
+        help="default algorithm for queries that do not choose one",
+    )
+    serve.add_argument("--epsilon", type=float, default=0.0,
+                       help="default per-query (1+eps) stopping gap")
+    serve.add_argument("--time-limit", type=float, default=None,
+                       help="default per-query wall-clock budget in seconds")
+    serve.add_argument("--max-states", type=int, default=None,
+                       help="default per-query cap on popped DP states")
+    serve.add_argument("--max-workers", type=int, default=None,
+                       help="executor thread count (default: cpu-bound)")
+    serve.add_argument("--max-inflight", type=int, default=4,
+                       help="concurrent queries allowed per connection")
+    serve.add_argument("--admission", type=int, default=None, metavar="STATES",
+                       help="reject queries whose estimated DP state space "
+                            "exceeds STATES (admission control)")
+    serve.add_argument("--traces", default=None,
+                       help="write per-query JSONL traces to this file "
+                            "(flushed and closed on drain)")
+    serve.add_argument("--store", default=None, metavar="PATH",
+                       help="warm-start from a precompute store directory "
+                            "(falls back to cold serving if unusable)")
+    serve.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                       help="checkpoint in-flight queries here when a drain "
+                            "has to cancel them")
+    serve.add_argument("--drain-grace", type=float, default=None,
+                       metavar="SECONDS",
+                       help="on SIGTERM/SIGINT: wait this long for in-flight "
+                            "queries before cancelling them (default: wait)")
 
     res = sub.add_parser(
         "resume",
@@ -609,6 +654,97 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0 if ok > 0 else 2
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from .core.budget import Budget
+    from .server import GSTServer
+    from .service import AdmissionPolicy, GraphIndex
+
+    graph = load_graph(args.graph)
+    if args.store is not None:
+        index = _index_with_store(graph, args.store)
+    else:
+        index = GraphIndex(graph)
+    budget = None
+    if args.epsilon or args.time_limit is not None or args.max_states is not None:
+        budget = Budget(
+            time_limit=args.time_limit,
+            epsilon=args.epsilon,
+            max_states=args.max_states,
+        )
+    admission = (
+        AdmissionPolicy(max_estimated_states=args.admission)
+        if args.admission is not None
+        else None
+    )
+
+    async def _run() -> int:
+        server = GSTServer(
+            index,
+            host=args.host,
+            port=args.port,
+            algorithm=args.algorithm,
+            budget=budget,
+            max_inflight=args.max_inflight,
+            drain_grace=args.drain_grace,
+            max_workers=args.max_workers,
+            trace_sink=args.traces,
+            admission=admission,
+            checkpoint_dir=args.checkpoint_dir,
+        )
+        await server.start()
+        print(
+            f"serving {args.graph} ({index.num_nodes} nodes, "
+            f"{index.num_edges} edges) on {server.host}:{server.port} "
+            f"[{args.algorithm}]",
+            flush=True,
+        )
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        received: dict = {"signum": None}
+
+        def _on_signal(signum: int) -> None:
+            if received["signum"] is None:
+                received["signum"] = signum
+                stop.set()
+
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, _on_signal, signum)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        serving = asyncio.ensure_future(server.serve_forever())
+        await stop.wait()
+        name = signal.Signals(received["signum"]).name
+        print(
+            f"{name}: draining — no new queries; waiting for "
+            f"{server.inflight_queries} in flight...",
+            file=sys.stderr,
+            flush=True,
+        )
+        await server.drain()
+        serving.cancel()
+        try:
+            await serving
+        except asyncio.CancelledError:
+            pass
+        stats = server.stats
+        print(
+            f"drained: {stats.results_sent} results, "
+            f"{stats.progress_frames_sent} progress frames, "
+            f"{stats.errors_sent} errors over "
+            f"{stats.connections_accepted} connections",
+            flush=True,
+        )
+        # A drain is the server's *normal* end of life, so it exits 0
+        # (unlike batch, where an interrupt means lost work).
+        return 0
+
+    return asyncio.run(_run())
+
+
 def _cmd_resume(args: argparse.Namespace) -> int:
     import glob
     import os
@@ -871,6 +1007,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "solve": _cmd_solve,
     "batch": _cmd_batch,
+    "serve": _cmd_serve,
     "resume": _cmd_resume,
     "precompute": _cmd_precompute,
     "generate": _cmd_generate,

@@ -49,6 +49,7 @@ class DPBFSolver:
         max_states: Optional[int] = None,
         distance_cache=None,
         on_event=None,
+        on_progress=None,
     ) -> None:
         self.graph = graph
         self.query = query if isinstance(query, GSTQuery) else GSTQuery(query)
@@ -61,6 +62,10 @@ class DPBFSolver:
         self.max_states = self.budget.max_states
         self.distance_cache = distance_cache
         self.on_event = on_event
+        # DPBF has no incumbent stream; the callback is accepted for
+        # interface parity (callers need not care which algorithm runs)
+        # and fired once with the terminal exact answer.
+        self.on_progress = on_progress
 
     # Staged execution, mirroring the progressive solver protocol so
     # the service layer can time DPBF's stages the same way.
@@ -177,6 +182,8 @@ class DPBFSolver:
         tree = steiner_tree_from_edges(edges, anchor=node)
         weight = min(cost, tree.weight)
         trace = [ProgressPoint(stats.total_seconds, weight, weight)]
+        if self.on_progress is not None:
+            self.on_progress(trace[0])
         return GSTResult(
             algorithm=self.algorithm_name,
             labels=self.query.labels,

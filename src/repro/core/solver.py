@@ -20,7 +20,7 @@ covering components comes back with original node ids.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Optional
+from typing import Callable, Dict, Hashable, Iterable, Optional
 
 from ..graph.graph import Graph
 from .algorithms import (
@@ -56,6 +56,7 @@ def solve_gst(
     algorithm: str = "pruneddp++",
     split_components: bool = True,
     budget: Optional[Budget] = None,
+    on_progress: Optional[Callable] = None,
     **solver_kwargs,
 ) -> GSTResult:
     """Find the minimum-weight connected tree covering ``labels``.
@@ -80,10 +81,15 @@ def solve_gst(
         A :class:`~repro.core.budget.Budget` bundling ``time_limit`` /
         ``epsilon`` / ``max_states`` / ``on_limit``; the loose keyword
         equivalents below remain accepted and win over its fields.
+    on_progress:
+        Called with a :class:`~repro.core.result.ProgressPoint` each
+        time the incumbent improves — the paper's anytime UB/LB stream.
+        Successive points are monotone: ``best_weight`` never
+        increases, ``lower_bound`` never decreases.  The
+        non-progressive ``dpbf`` emits a single terminal point.
     solver_kwargs:
         Forwarded to the solver: ``time_limit``, ``epsilon``,
-        ``max_states``, ``on_progress``, ``on_event``,
-        ``distance_cache``, ...
+        ``max_states``, ``on_event``, ``distance_cache``, ...
 
     Raises
     ------
@@ -94,6 +100,8 @@ def solve_gst(
 
     labels = tuple(labels)
     cache = solver_kwargs.pop("distance_cache", None)
+    if on_progress is not None:
+        solver_kwargs["on_progress"] = on_progress
     index = GraphIndex(graph, cache=cache, max_cached_labels=None)
     return index.solve(
         labels, algorithm=algorithm, budget=budget, **solver_kwargs

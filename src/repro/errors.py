@@ -27,6 +27,8 @@ __all__ = [
     "CircuitOpenError",
     "CertificationError",
     "WorkerCrashedError",
+    "ProtocolError",
+    "RemoteQueryError",
     "StoreError",
     "StoreCorruptError",
     "StoreVersionError",
@@ -159,6 +161,40 @@ class WorkerCrashedError(ReproError):
         self.pid = pid
         self.exitcode = exitcode
         self.reason = reason
+
+
+class ProtocolError(ReproError):
+    """A wire frame violated the :mod:`repro.server` protocol.
+
+    Raised by the length-prefixed NDJSON codec on oversized frames,
+    truncated or non-JSON payloads, and frames missing the mandatory
+    ``type`` field.  The server answers one typed ``ERROR`` frame
+    (code ``"protocol"``) and closes the connection — a misbehaving
+    client can never wedge a worker.
+    """
+
+
+class RemoteQueryError(ReproError):
+    """A query shipped to a :mod:`repro.server` failed on the server.
+
+    The client libraries raise this when an ``ERROR`` frame comes back
+    instead of a ``RESULT``.  ``code`` is the server's stable error
+    code (``"infeasible"``, ``"rejected"``, ``"circuit_open"``,
+    ``"cancelled"``, ``"overloaded"``, ``"draining"``, ``"protocol"``,
+    ``"bad_request"``, ``"internal"``); ``details`` carries whatever
+    extra fields the frame had (e.g. an admission cost estimate).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        code: str = "internal",
+        details: Optional[dict] = None,
+    ) -> None:
+        super().__init__(message)
+        self.code = code
+        self.details = details or {}
 
 
 class StoreError(ReproError):

@@ -1,0 +1,32 @@
+"""``repro.server`` — progressive GST answers over the wire.
+
+The paper's anytime UB/LB incumbent stream, served over TCP: a
+:class:`GSTServer` owns one graph index plus a query executor and
+pushes a ``PROGRESS`` frame to the client for every improved incumbent
+the engine reports, followed by a terminal ``RESULT``.  See
+:mod:`repro.server.protocol` for the wire format, :mod:`repro.server.client`
+for the blocking and asyncio client libraries, and
+``python -m repro serve --help`` for the CLI entry point.
+"""
+
+from .client import AsyncGSTClient, GSTClient, StreamUpdate
+from .protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    encode_frame,
+)
+from .server import DEFAULT_MAX_INFLIGHT, GSTServer, ServerStats
+
+__all__ = [
+    "GSTServer",
+    "ServerStats",
+    "GSTClient",
+    "AsyncGSTClient",
+    "StreamUpdate",
+    "FrameDecoder",
+    "encode_frame",
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "DEFAULT_MAX_INFLIGHT",
+]

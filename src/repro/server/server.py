@@ -1,0 +1,516 @@
+"""The asyncio streaming query server: :class:`GSTServer`.
+
+The paper's headline property is *progressiveness* — every solver
+maintains a monotone stream of ``(elapsed, UB, LB)`` incumbents.  This
+module puts that stream on the wire: a :class:`GSTServer` owns one
+:class:`~repro.service.GraphIndex` plus a
+:class:`~repro.service.QueryExecutor`, speaks the length-prefixed
+NDJSON protocol of :mod:`repro.server.protocol` over TCP, and forwards
+every improved incumbent to the client as a ``PROGRESS`` frame the
+moment the engine reports it — so a remote caller gets an anytime
+answer with a sound approximation guarantee at every instant, exactly
+like an in-process embedder.
+
+Threading model
+---------------
+Solves run on the executor's worker threads; the network runs on one
+asyncio event loop.  The engine's ``on_progress`` callback fires on a
+worker thread and is bridged into the loop with
+``loop.call_soon_threadsafe`` — the only thread-crossing point.
+``call_soon_threadsafe`` is FIFO, and the future's completion callback
+is scheduled *after* the engine's final progress report, so a query's
+``PROGRESS`` frames always precede its ``RESULT`` on the wire.
+
+Resilience wiring
+-----------------
+The executor's whole pipeline applies unchanged: admission rejections
+come back as ``ERROR code="rejected"`` (with the cost estimate), open
+circuit breakers as ``code="circuit_open"``, infeasible queries as
+``code="infeasible"``.  A client disconnect fires the per-query
+:class:`~repro.core.budget.CancellationToken` of everything it had in
+flight, so the engine stops within its bounded pop interval instead of
+burning a worker for an audience that left.  Per-connection concurrency
+is capped at ``max_inflight`` (``ERROR code="overloaded"`` beyond it).
+
+Shutdown is a graceful *drain*: stop accepting connections, refuse new
+``QUERY`` frames (``code="draining"``), let in-flight queries finish —
+or, past ``drain_grace`` seconds, cancel them so they return (and,
+when a ``checkpoint_dir`` is configured, checkpoint) their best anytime
+answers — then shut the executor down, which flushes and closes the
+attached :class:`~repro.service.TraceSink`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, Optional, Set, Union
+
+from ..core.budget import Budget, CancellationToken
+from ..errors import (
+    CircuitOpenError,
+    InfeasibleQueryError,
+    LimitExceededError,
+    ProtocolError,
+    QueryCancelledError,
+    QueryError,
+    QueryRejectedError,
+)
+from ..graph.graph import Graph
+from ..service.executor import QueryExecutor
+from ..service.index import GraphIndex, QueryOutcome
+from . import protocol
+from .protocol import (
+    MAX_FRAME_BYTES,
+    FrameDecoder,
+    encode_frame,
+    error_frame,
+    hello_frame,
+    progress_frame,
+    result_frame,
+)
+
+__all__ = ["GSTServer", "ServerStats", "DEFAULT_MAX_INFLIGHT"]
+
+# Per-connection cap on concurrently running queries.  One TCP client
+# is one tenant; the executor's worker pool is the shared resource this
+# cap protects.
+DEFAULT_MAX_INFLIGHT = 4
+
+_READ_CHUNK = 1 << 16
+
+
+class ServerStats:
+    """Monotone counters the tests and the CLI status line read."""
+
+    def __init__(self) -> None:
+        self.connections_accepted = 0
+        self.connections_closed = 0
+        self.queries_received = 0
+        self.progress_frames_sent = 0
+        self.results_sent = 0
+        self.errors_sent = 0
+        self.queries_cancelled = 0
+        self.protocol_errors = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return dict(vars(self))
+
+
+class _Connection:
+    """Per-connection state: writer, live tokens, and spawned tasks."""
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self.writer = writer
+        self.inflight: Dict[Any, CancellationToken] = {}
+        self.tasks: Set[asyncio.Task] = set()
+        self.closing = False
+
+    def send(self, frame_bytes: bytes) -> None:
+        """Queue one whole frame (event-loop thread only)."""
+        if self.closing or self.writer.is_closing():
+            return
+        self.writer.write(frame_bytes)
+
+
+class GSTServer:
+    """Serve progressive GST answers over TCP.
+
+    Parameters
+    ----------
+    index:
+        A :class:`~repro.service.GraphIndex` (or raw graph; an index is
+        built).  Attach a store to the index *before* starting the
+        server to serve warm.
+    host, port:
+        Bind address.  ``port=0`` picks a free port; read it back from
+        :attr:`port` after :meth:`start`.
+    algorithm, budget:
+        Defaults applied to queries that do not override them.
+    max_inflight:
+        Per-connection cap on concurrently running queries.
+    max_frame_bytes:
+        Protocol frame-size guard (both directions).
+    drain_grace:
+        Seconds :meth:`drain` waits for in-flight queries before
+        cancelling them (``None`` waits forever).
+    executor:
+        Bring your own configured :class:`~repro.service.QueryExecutor`
+        (must use thread isolation — progress callbacks cannot cross a
+        process boundary).  The server shuts down only executors it
+        created itself.
+    executor_kwargs:
+        Forwarded to the internally-built executor (``max_workers``,
+        ``trace_sink``, ``admission``, ``retry_policy``,
+        ``breaker_policy``, ``checkpoint_dir``, ...).
+    """
+
+    def __init__(
+        self,
+        index: Union[Graph, GraphIndex],
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        algorithm: str = "pruneddp++",
+        budget: Optional[Budget] = None,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+        drain_grace: Optional[float] = None,
+        executor: Optional[QueryExecutor] = None,
+        **executor_kwargs,
+    ) -> None:
+        if max_inflight <= 0:
+            raise ValueError("max_inflight must be positive")
+        self.index = GraphIndex.ensure(index)
+        self.host = host
+        self._requested_port = port
+        self.algorithm = algorithm
+        self.budget = budget
+        self.max_inflight = max_inflight
+        self.max_frame_bytes = max_frame_bytes
+        self.drain_grace = drain_grace
+        if executor is not None:
+            if executor_kwargs:
+                raise ValueError(
+                    "pass executor kwargs or a pre-built executor, not both"
+                )
+            self.executor = executor
+            self._owns_executor = False
+        else:
+            self.executor = QueryExecutor(
+                self.index,
+                algorithm=algorithm,
+                budget=budget,
+                **executor_kwargs,
+            )
+            self._owns_executor = True
+        if self.executor.isolation != "thread":
+            raise ValueError(
+                "GSTServer streams progress via in-process callbacks; "
+                "the executor must use isolation='thread'"
+            )
+        self.stats = ServerStats()
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._connections: Set[_Connection] = set()
+        self._draining = False
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The actually-bound port (resolves ``port=0``)."""
+        if self._server is None:
+            return self._requested_port
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def inflight_queries(self) -> int:
+        """Queries currently running across all connections (gauge)."""
+        return sum(len(conn.inflight) for conn in self._connections)
+
+    async def start(self) -> None:
+        """Bind and start accepting connections (returns immediately)."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._loop = asyncio.get_running_loop()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self._requested_port
+        )
+
+    async def serve_forever(self) -> None:
+        """Block until the server is closed (e.g. by :meth:`drain`)."""
+        if self._server is None:
+            await self.start()
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+
+    async def drain(self, grace: Optional[float] = None) -> None:
+        """Graceful shutdown: stop accepting, finish in-flight, flush.
+
+        1. Stop accepting new connections and refuse new ``QUERY``
+           frames on existing ones (``ERROR code="draining"``).
+        2. Wait for in-flight queries to finish.  Past ``grace``
+           seconds (default :attr:`drain_grace`) every remaining query's
+           token is cancelled — engines return (and checkpoint, when
+           configured) their best anytime answers, which are still
+           delivered as ``RESULT status="cancelled"`` frames.
+        3. Shut the executor down (``wait=True``), which flushes and
+           closes its attached trace sink, then close the connections.
+
+        Idempotent; safe to call while queries are mid-flight.
+        """
+        self._draining = True
+        grace = self.drain_grace if grace is None else grace
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        pending = {
+            task for conn in self._connections for task in conn.tasks
+        }
+        if pending:
+            done, still_running = await asyncio.wait(pending, timeout=grace)
+            if still_running:
+                for conn in self._connections:
+                    for token in conn.inflight.values():
+                        token.cancel("server draining")
+                await asyncio.wait(still_running)
+        if self._owns_executor:
+            # shutdown(wait=True) joins worker threads and flushes/
+            # closes the trace sink; run it off-loop so a slow flush
+            # cannot stall frame delivery on other (already-quiesced)
+            # connections.
+            await asyncio.get_running_loop().run_in_executor(
+                None, self.executor.shutdown
+            )
+        for conn in list(self._connections):
+            conn.closing = True
+            conn.writer.close()
+
+    async def __aenter__(self) -> "GSTServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.drain()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.stats.connections_accepted += 1
+        conn = _Connection(writer)
+        self._connections.add(conn)
+        try:
+            conn.send(
+                encode_frame(
+                    hello_frame(
+                        graph={
+                            "nodes": self.index.num_nodes,
+                            "edges": self.index.num_edges,
+                            "labels": self.index.num_labels,
+                        },
+                        algorithm=self.algorithm,
+                        max_inflight=self.max_inflight,
+                        max_frame_bytes=self.max_frame_bytes,
+                    ),
+                    max_frame_bytes=self.max_frame_bytes,
+                )
+            )
+            await writer.drain()
+            decoder = FrameDecoder(self.max_frame_bytes)
+            while True:
+                data = await reader.read(_READ_CHUNK)
+                if not data:
+                    break  # client closed its end
+                try:
+                    frames = decoder.feed(data)
+                except ProtocolError as exc:
+                    # One typed ERROR frame, then hang up: a client
+                    # whose framing is broken cannot be reasoned with.
+                    self.stats.protocol_errors += 1
+                    self._send_error(conn, None, "protocol", str(exc))
+                    break
+                for frame in frames:
+                    self._dispatch(conn, frame)
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # disconnect mid-read; the finally block cleans up
+        finally:
+            # Client gone (or being hung up on): whatever it still had
+            # in flight is searching for an audience that left.  Cancel
+            # cooperatively; the engine stops within its pop bound.
+            for token in conn.inflight.values():
+                self.stats.queries_cancelled += 1
+                token.cancel("client disconnected")
+            conn.closing = True
+            if conn.tasks:
+                await asyncio.gather(*conn.tasks, return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            self._connections.discard(conn)
+            self.stats.connections_closed += 1
+
+    def _dispatch(self, conn: _Connection, frame: Dict[str, Any]) -> None:
+        frame_type = frame["type"]
+        if frame_type == protocol.QUERY:
+            self.stats.queries_received += 1
+            query_id = frame.get("id")
+            if self._draining:
+                self._send_error(
+                    conn, query_id, "draining",
+                    "server is draining; no new queries accepted",
+                )
+                return
+            if len(conn.inflight) >= self.max_inflight:
+                self._send_error(
+                    conn, query_id, "overloaded",
+                    f"connection already has {len(conn.inflight)} queries "
+                    f"in flight (max_inflight={self.max_inflight})",
+                )
+                return
+            if query_id is None or query_id in conn.inflight:
+                self._send_error(
+                    conn, query_id, "bad_request",
+                    "QUERY needs a fresh non-null id",
+                )
+                return
+            labels = frame.get("labels")
+            if (
+                not isinstance(labels, list)
+                or not labels
+                or not all(isinstance(label, str) for label in labels)
+            ):
+                self._send_error(
+                    conn, query_id, "bad_request",
+                    "QUERY.labels must be a non-empty list of strings",
+                )
+                return
+            token = CancellationToken()
+            conn.inflight[query_id] = token
+            task = asyncio.ensure_future(
+                self._run_query(conn, query_id, frame, token)
+            )
+            conn.tasks.add(task)
+            task.add_done_callback(conn.tasks.discard)
+        elif frame_type == protocol.CANCEL:
+            token = conn.inflight.get(frame.get("id"))
+            if token is not None:
+                self.stats.queries_cancelled += 1
+                token.cancel("client cancel")
+            # Cancelling an unknown/finished id is a no-op, not an
+            # error: the RESULT may simply have crossed the CANCEL.
+        else:
+            # HELLO/PROGRESS/RESULT/ERROR are server-to-client only.
+            self._send_error(
+                conn, frame.get("id"), "protocol",
+                f"unexpected client frame type {frame_type!r}",
+            )
+
+    # ------------------------------------------------------------------
+    # Query execution
+    # ------------------------------------------------------------------
+    def _query_budget(self, frame: Dict[str, Any]) -> Optional[Budget]:
+        """The request's budget overrides merged over the server default."""
+        epsilon = frame.get("epsilon")
+        time_limit = frame.get("time_limit")
+        max_states = frame.get("max_states")
+        if epsilon is None and time_limit is None and max_states is None:
+            return self.budget
+        return Budget.coalesce(
+            self.budget,
+            epsilon=float(epsilon) if epsilon is not None else None,
+            time_limit=float(time_limit) if time_limit is not None else None,
+            max_states=int(max_states) if max_states is not None else None,
+        )
+
+    async def _run_query(
+        self,
+        conn: _Connection,
+        query_id,
+        frame: Dict[str, Any],
+        token: CancellationToken,
+    ) -> None:
+        loop = asyncio.get_running_loop()
+
+        def on_progress(point) -> None:
+            # Worker thread → event loop.  FIFO scheduling keeps every
+            # PROGRESS ahead of the RESULT (whose completion wakeup is
+            # scheduled after the engine's last report).
+            loop.call_soon_threadsafe(self._send_progress, conn, query_id, point)
+
+        algorithm = frame.get("algorithm") or self.algorithm
+        try:
+            budget = self._query_budget(frame)
+            future = self.executor.submit(
+                frame["labels"],
+                algorithm=algorithm,
+                budget=budget,
+                query_id=query_id,
+                cancel_token=token,
+                on_progress=on_progress,
+            )
+            outcome: QueryOutcome = await asyncio.wrap_future(future)
+        except Exception as exc:  # bad budget values, shutdown races, ...
+            conn.inflight.pop(query_id, None)
+            self._send_error(conn, query_id, "bad_request", str(exc))
+            return
+        conn.inflight.pop(query_id, None)
+        if outcome.ok:
+            status = "cancelled" if outcome.trace.cancelled else "ok"
+            self.stats.results_sent += 1
+            conn.send(
+                encode_frame(
+                    result_frame(query_id, outcome.result, status=status),
+                    max_frame_bytes=self.max_frame_bytes,
+                )
+            )
+        else:
+            self._send_error(
+                conn, query_id, *self._classify_error(outcome.error)
+            )
+        try:
+            await conn.writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    @staticmethod
+    def _classify_error(error: BaseException):
+        """Map a captured exception to (code, message[, details])."""
+        message = str(error)
+        if isinstance(error, InfeasibleQueryError):
+            return "infeasible", message
+        if isinstance(error, QueryRejectedError):
+            return (
+                "rejected",
+                message,
+                {
+                    "estimated_states": error.estimated_states,
+                    "estimated_seconds": error.estimated_seconds,
+                },
+            )
+        if isinstance(error, CircuitOpenError):
+            return "circuit_open", message
+        if isinstance(error, QueryCancelledError):
+            return "cancelled", message
+        if isinstance(error, LimitExceededError):
+            return "limit", message
+        if isinstance(error, QueryError):
+            return "bad_request", message
+        return "internal", f"{type(error).__name__}: {message}"
+
+    # ------------------------------------------------------------------
+    # Frame senders (event-loop thread only)
+    # ------------------------------------------------------------------
+    def _send_progress(self, conn: _Connection, query_id, point) -> None:
+        if conn.closing:
+            return
+        self.stats.progress_frames_sent += 1
+        conn.send(
+            encode_frame(
+                progress_frame(query_id, point),
+                max_frame_bytes=self.max_frame_bytes,
+            )
+        )
+
+    def _send_error(self, conn, query_id, code, message, details=None) -> None:
+        self.stats.errors_sent += 1
+        details = {
+            k: v for k, v in (details or {}).items() if v is not None
+        }
+        conn.send(
+            encode_frame(
+                error_frame(query_id, code, message, **details),
+                max_frame_bytes=self.max_frame_bytes,
+            )
+        )

@@ -43,7 +43,16 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import Future, ThreadPoolExecutor
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Union
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Union,
+)
 
 from ..core.budget import Budget, CancellationToken
 from ..graph.graph import Graph
@@ -75,7 +84,7 @@ class QueryExecutor:
         max_workers: Optional[int] = None,
         algorithm: str = "pruneddp++",
         budget: Optional[Budget] = None,
-        trace_sink: Optional[TraceSink] = None,
+        trace_sink: Optional[Union[TraceSink, str]] = None,
         admission: Optional[Union[AdmissionController, AdmissionPolicy]] = None,
         retry_policy: Optional[RetryPolicy] = None,
         breaker_policy: Optional[BreakerPolicy] = None,
@@ -94,7 +103,14 @@ class QueryExecutor:
         self.max_workers = max_workers or _default_workers()
         self.algorithm = algorithm
         self.budget = budget
-        self.trace_sink = trace_sink
+        # A sink given as a path is opened here and is therefore ours to
+        # close on shutdown; a pre-built TraceSink is borrowed — the
+        # caller may keep writing through it after we are gone, so
+        # shutdown only flushes it.
+        self._owns_trace_sink = isinstance(trace_sink, str)
+        self.trace_sink = (
+            TraceSink(trace_sink) if isinstance(trace_sink, str) else trace_sink
+        )
         # Re-validate answers served from the persistent result cache
         # against the *live* graph (repro.verify).  A store built from a
         # different-but-fingerprint-colliding graph, or a corrupted
@@ -139,6 +155,7 @@ class QueryExecutor:
         budget: Optional[Budget] = None,
         query_id=None,
         cancel_token: Optional[CancellationToken] = None,
+        on_progress: Optional[Callable] = None,
         **solver_kwargs,
     ) -> "Future[QueryOutcome]":
         """Enqueue one query; the future resolves to a QueryOutcome.
@@ -148,12 +165,24 @@ class QueryExecutor:
         ``cancel_token`` (or one already on the budget) cancels the
         query cooperatively: the engine stops within a bounded number
         of state pops and the outcome records ``status="cancelled"``.
+        ``on_progress`` receives every improved incumbent as a
+        :class:`~repro.core.result.ProgressPoint` *on the worker
+        thread* — it must be cheap and thread-safe.  Progress streaming
+        requires thread isolation (a callback cannot cross a process
+        boundary); served-from-cache answers emit no progress.
         """
         if self._closed:
             raise RuntimeError("executor is shut down")
+        if on_progress is not None and self.isolation != "thread":
+            raise ValueError(
+                "on_progress requires isolation='thread'; a progress "
+                "callback cannot cross a process boundary"
+            )
         effective = budget if budget is not None else self.budget
         if cancel_token is not None:
             effective = (effective or Budget()).with_cancellation(cancel_token)
+        if on_progress is not None:
+            solver_kwargs = dict(solver_kwargs, on_progress=on_progress)
         return self._pool.submit(
             self._run_one,
             tuple(labels),
@@ -171,6 +200,7 @@ class QueryExecutor:
         budget: Optional[Budget] = None,
         deadline: Optional[float] = None,
         cancel_token: Optional[CancellationToken] = None,
+        on_progress: Optional[Callable] = None,
         **solver_kwargs,
     ) -> List[QueryOutcome]:
         """Run a batch concurrently; outcomes come back in input order.
@@ -182,6 +212,9 @@ class QueryExecutor:
         ``cancel_token`` is shared by every query in the batch: cancel
         it and running queries return their best-so-far answers while
         queued ones come back ``cancelled`` without starting.
+        ``on_progress(query_id, point)`` receives every improved
+        incumbent of every query, interleaved, on worker threads —
+        the ``query_id`` (the query's batch position) disambiguates.
         """
         batch_budget = budget if budget is not None else self.budget
         if deadline is not None:
@@ -193,12 +226,18 @@ class QueryExecutor:
         futures: List["Future[QueryOutcome]"] = []
         try:
             for i, labels in enumerate(queries):
+                query_progress = None
+                if on_progress is not None:
+                    query_progress = (
+                        lambda point, _i=i: on_progress(_i, point)
+                    )
                 futures.append(
                     self.submit(
                         labels,
                         algorithm=algorithm,
                         budget=batch_budget,
                         query_id=i,
+                        on_progress=query_progress,
                         **solver_kwargs,
                     )
                 )
@@ -283,7 +322,13 @@ class QueryExecutor:
                     **solver_kwargs,
                 )
         if self.trace_sink is not None:
-            self.trace_sink.write(outcome.trace)
+            try:
+                self.trace_sink.write(outcome.trace)
+            except ValueError:
+                # shutdown(wait=False) may close an owned sink while a
+                # straggler query is still finishing; losing that one
+                # trace line is the documented cost of not waiting.
+                pass
         return outcome
 
     def _execute_callable(self):
@@ -341,11 +386,21 @@ class QueryExecutor:
         cooperatively.  With ``wait=True`` the call blocks until every
         started query has finished.  Process workers are asked to
         checkpoint and exit (``wait=True``) or killed (``wait=False``).
+
+        The attached trace sink is flushed after the pool stops (no
+        buffered JSONL line is ever dropped by a drain) and closed iff
+        the executor opened it itself (``trace_sink`` given as a path);
+        borrowed sinks stay open for their real owner.
         """
         self._closed = True
         if self.worker_pool is not None:
             self.worker_pool.shutdown(wait=wait)
         self._pool.shutdown(wait=wait, cancel_futures=not wait)
+        if self.trace_sink is not None:
+            if self._owns_trace_sink:
+                self.trace_sink.close()
+            else:
+                self.trace_sink.flush()
 
     def __enter__(self) -> "QueryExecutor":
         return self

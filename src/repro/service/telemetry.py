@@ -170,12 +170,16 @@ class TraceSink:
     """Append-only JSONL trace writer shared by concurrent workers.
 
     Accepts a path (opened/closed by the sink) or any writable text
-    file object (left open on ``close``).  ``write`` is thread-safe.
+    file object (flushed but left open on ``close``).  ``write`` is
+    thread-safe; ``close`` is idempotent, so a sink can pass through
+    several owners (executor, server drain, a ``with`` block) and each
+    may close it defensively without tripping the others.
     """
 
     def __init__(self, destination: Union[str, IO[str]]) -> None:
         self._lock = threading.Lock()
         self.count = 0
+        self._closed = False
         if isinstance(destination, str):
             self.path: Optional[str] = destination
             self._file: IO[str] = open(destination, "w", encoding="utf-8")
@@ -185,18 +189,38 @@ class TraceSink:
             self._file = destination
             self._owns_file = False
 
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
     def write(self, trace: QueryTrace) -> None:
         """Append one trace as a JSON line (flushed immediately)."""
         line = trace.to_json()
         with self._lock:
+            if self._closed:
+                raise ValueError("write to a closed TraceSink")
             self._file.write(line + "\n")
             self._file.flush()
             self.count += 1
 
-    def close(self) -> None:
+    def flush(self) -> None:
+        """Force buffered lines to the destination (no-op once closed)."""
         with self._lock:
-            if self._owns_file and not self._file.closed:
+            if not self._closed and not self._file.closed:
+                self._file.flush()
+
+    def close(self) -> None:
+        """Flush and close.  Idempotent; borrowed files stay open."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            if self._file.closed:
+                return
+            if self._owns_file:
                 self._file.close()
+            else:
+                self._file.flush()
 
     def __enter__(self) -> "TraceSink":
         return self

@@ -77,3 +77,31 @@ class TestKwargsForwarding:
         events = []
         solve_gst(path_graph, ["x", "y"], on_progress=events.append)
         assert events
+
+class TestProgressStream:
+    def test_on_progress_monotone_ub_lb(self):
+        g = generators.random_graph(
+            80, 200, num_query_labels=5, label_frequency=4, seed=9
+        )
+        points = []
+        result = solve_gst(
+            g, ["q0", "q1", "q2"], algorithm="basic",
+            on_progress=points.append,
+        )
+        assert len(points) >= 2
+        for earlier, later in zip(points, points[1:]):
+            assert later.best_weight <= earlier.best_weight + 1e-12
+            assert later.lower_bound >= earlier.lower_bound - 1e-12
+            assert later.elapsed >= earlier.elapsed
+        assert points[-1].best_weight == pytest.approx(result.weight)
+
+    def test_dpbf_accepts_on_progress(self, path_graph):
+        """Interface parity: the non-progressive tier emits exactly one
+        terminal point instead of rejecting the callback."""
+        points = []
+        result = solve_gst(
+            path_graph, ["x", "y"], algorithm="dpbf",
+            on_progress=points.append,
+        )
+        assert len(points) == 1
+        assert points[0].best_weight == pytest.approx(result.weight)

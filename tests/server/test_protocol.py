@@ -1,0 +1,207 @@
+"""Wire-protocol edge cases: the codec must never trust the peer.
+
+Partial reads, oversized frames, garbage bytes, non-JSON payloads —
+every violation must surface as a typed ProtocolError at the codec
+boundary, never as a hang, an OOM, or a stray ``struct.error``.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import pytest
+
+from repro.core.result import GSTResult, ProgressPoint, SearchStats
+from repro.core.tree import SteinerTree
+from repro.errors import ProtocolError
+from repro.server.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    cancel_frame,
+    dump_number,
+    encode_frame,
+    error_frame,
+    hello_frame,
+    load_number,
+    progress_frame,
+    query_frame,
+    result_frame,
+)
+
+INF = float("inf")
+
+
+def _decode_all(wire: bytes, **kwargs) -> list:
+    return FrameDecoder(**kwargs).feed(wire)
+
+
+class TestRoundTrip:
+    def test_every_constructor_round_trips(self):
+        tree = SteinerTree([(0, 1, 1.5), (1, 2, 2.5)])
+        result = GSTResult(
+            algorithm="PrunedDP++",
+            labels=("a", "b"),
+            tree=tree,
+            weight=4.0,
+            lower_bound=4.0,
+            optimal=True,
+            stats=SearchStats(states_popped=7, total_seconds=0.25),
+        )
+        frames = [
+            hello_frame(
+                graph={"nodes": 3, "edges": 2, "labels": 2},
+                algorithm="pruneddp++",
+                max_inflight=4,
+            ),
+            query_frame(1, ["a", "b"], epsilon=0.1, time_limit=2.0),
+            progress_frame(1, ProgressPoint(0.1, 5.0, 2.5)),
+            result_frame(1, result),
+            error_frame(1, "rejected", "too big", estimated_states=10**9),
+            cancel_frame(1),
+        ]
+        wire = b"".join(encode_frame(f) for f in frames)
+        decoded = _decode_all(wire)
+        assert decoded == frames
+
+    def test_result_frame_carries_tree_and_bounds(self):
+        tree = SteinerTree([(0, 1, 1.0)])
+        result = GSTResult(
+            algorithm="Basic",
+            labels=("x",),
+            tree=tree,
+            weight=1.0,
+            lower_bound=1.0,
+            optimal=True,
+            stats=SearchStats(),
+        )
+        frame = result_frame(3, result, status="ok")
+        assert frame["tree"] == {"nodes": [0, 1], "edges": [[0, 1, 1.0]]}
+        assert frame["weight"] == 1.0
+        assert frame["optimal"] is True
+        assert frame["status"] == "ok"
+
+    def test_progress_frame_infinite_incumbent(self):
+        """Pre-feasible progress (UB=inf) must survive JSON."""
+        frame = progress_frame(1, ProgressPoint(0.05, INF, 3.0))
+        (decoded,) = _decode_all(encode_frame(frame))
+        assert decoded["best_weight"] == "inf"
+        assert load_number(decoded["best_weight"]) == INF
+        assert load_number(decoded["ratio"]) == INF
+
+    def test_dump_load_number_conventions(self):
+        assert dump_number(INF) == "inf"
+        assert dump_number(2.5) == 2.5
+        assert dump_number(None) is None
+        assert load_number("inf") == INF
+        assert load_number(None) is None
+        assert load_number(2) == 2.0
+
+    def test_query_frame_stringifies_labels(self):
+        assert query_frame(1, [0, 1])["labels"] == ["0", "1"]
+
+
+class TestPartialReads:
+    def test_byte_at_a_time_delivery(self):
+        """A TCP peer may deliver one byte per read; frames must still
+        assemble exactly once each."""
+        frames = [cancel_frame(i) for i in range(3)]
+        wire = b"".join(encode_frame(f) for f in frames)
+        decoder = FrameDecoder()
+        seen = []
+        for i in range(len(wire)):
+            seen.extend(decoder.feed(wire[i:i + 1]))
+        assert seen == frames
+        assert len(decoder) == 0
+
+    def test_many_frames_in_one_chunk(self):
+        frames = [cancel_frame(i) for i in range(10)]
+        wire = b"".join(encode_frame(f) for f in frames)
+        assert _decode_all(wire) == frames
+
+    def test_split_inside_header(self):
+        wire = encode_frame(cancel_frame(7))
+        decoder = FrameDecoder()
+        assert decoder.feed(wire[:2]) == []
+        assert len(decoder) == 2
+        assert decoder.feed(wire[2:]) == [cancel_frame(7)]
+
+    def test_incomplete_frame_stays_buffered(self):
+        wire = encode_frame(cancel_frame(7))
+        decoder = FrameDecoder()
+        assert decoder.feed(wire[:-1]) == []
+        assert len(decoder) == len(wire) - 1
+
+
+class TestRejection:
+    def test_oversized_frame_rejected_on_encode(self):
+        frame = error_frame(1, "internal", "x" * 256)
+        with pytest.raises(ProtocolError, match="exceeds"):
+            encode_frame(frame, max_frame_bytes=64)
+
+    def test_oversized_frame_rejected_from_prefix_alone(self):
+        """The guard fires on the 4-byte header before any payload is
+        buffered — a hostile prefix cannot make the decoder allocate."""
+        decoder = FrameDecoder(max_frame_bytes=1024)
+        header = struct.pack(">I", 10 * 1024 * 1024)
+        with pytest.raises(ProtocolError, match="frame length"):
+            decoder.feed(header)  # not one payload byte provided
+
+    def test_zero_length_frame_rejected(self):
+        with pytest.raises(ProtocolError, match="frame length"):
+            _decode_all(struct.pack(">I", 0))
+
+    def test_garbage_bytes_mid_stream(self):
+        """Random bytes after a valid frame decode to an absurd length
+        or malformed JSON — either way a ProtocolError, never a hang."""
+        decoder = FrameDecoder()
+        good = encode_frame(cancel_frame(1))
+        assert decoder.feed(good) == [cancel_frame(1)]
+        with pytest.raises(ProtocolError):
+            decoder.feed(b"\xff\xfe\xfd\xfc garbage after the frame")
+
+    def test_non_json_payload(self):
+        payload = b"this is not json\n"
+        wire = struct.pack(">I", len(payload)) + payload
+        with pytest.raises(ProtocolError, match="malformed"):
+            _decode_all(wire)
+
+    def test_non_object_json_payload(self):
+        payload = json.dumps([1, 2, 3]).encode() + b"\n"
+        wire = struct.pack(">I", len(payload)) + payload
+        with pytest.raises(ProtocolError, match="JSON object"):
+            _decode_all(wire)
+
+    def test_missing_or_unknown_type(self):
+        for obj in ({}, {"type": "launch_missiles"}):
+            payload = json.dumps(obj).encode() + b"\n"
+            wire = struct.pack(">I", len(payload)) + payload
+            with pytest.raises(ProtocolError, match="type"):
+                _decode_all(wire)
+
+    def test_encode_refuses_unknown_type(self):
+        with pytest.raises(ProtocolError, match="cannot encode"):
+            encode_frame({"type": "nope"})
+
+    def test_encode_refuses_unserializable_payload(self):
+        with pytest.raises(ProtocolError, match="not JSON-serializable"):
+            encode_frame({"type": "error", "blob": object()})
+
+    def test_invalid_decoder_limit(self):
+        with pytest.raises(ValueError):
+            FrameDecoder(max_frame_bytes=0)
+
+
+class TestHello:
+    def test_hello_announces_version_and_limits(self):
+        frame = hello_frame(
+            graph={"nodes": 1, "edges": 0, "labels": 0},
+            algorithm="basic",
+            max_inflight=2,
+            max_frame_bytes=4096,
+        )
+        assert frame["version"] == PROTOCOL_VERSION
+        assert frame["max_inflight"] == 2
+        assert frame["max_frame_bytes"] == 4096
+        assert MAX_FRAME_BYTES >= 4096

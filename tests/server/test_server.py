@@ -1,0 +1,337 @@
+"""End-to-end tests for the streaming query server.
+
+The server runs on a background thread with its own event loop; tests
+talk to it through the real TCP stack with the blocking client —
+the exact deployment shape of ``python -m repro serve``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+
+import pytest
+
+import repro.core.solver as solver_mod
+from repro import solve_gst
+from repro.errors import RemoteQueryError
+from repro.graph import generators
+from repro.server import GSTClient, GSTServer
+from repro.server.protocol import query_frame
+
+INF = float("inf")
+
+
+class ServerHarness:
+    """A GSTServer on a daemon thread, drained on close."""
+
+    def __init__(self, index, **kwargs) -> None:
+        self._index = index
+        self._kwargs = kwargs
+        self._ready = threading.Event()
+        self._error: list = []
+        self.server: GSTServer = None
+        self.loop: asyncio.AbstractEventLoop = None
+        self._stopped: asyncio.Event = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout=10):
+            raise RuntimeError(f"server failed to start: {self._error}")
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except Exception as exc:  # pragma: no cover - harness diagnostics
+            self._error.append(exc)
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self.loop = asyncio.get_running_loop()
+        self._stopped = asyncio.Event()
+        self.server = GSTServer(self._index, port=0, **self._kwargs)
+        await self.server.start()
+        self._ready.set()
+        await self._stopped.wait()
+        await self.server.drain()
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def drain(self, grace=None) -> None:
+        """Run a drain from the test thread; blocks until complete."""
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.drain(grace), self.loop
+        )
+        future.result(timeout=30)
+
+    def start_drain(self, grace=None):
+        """Kick off a drain without waiting (for mid-drain assertions)."""
+        return asyncio.run_coroutine_threadsafe(
+            self.server.drain(grace), self.loop
+        )
+
+    def close(self) -> None:
+        if self.loop is not None:
+            self.loop.call_soon_threadsafe(self._stopped.set)
+        self._thread.join(timeout=30)
+        assert not self._thread.is_alive(), "server thread failed to exit"
+
+    def __enter__(self) -> "ServerHarness":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _wait_until(predicate, timeout: float = 10.0, interval: float = 0.01):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+def _terminal_frame(client: GSTClient, query_id) -> dict:
+    """Read raw frames until ``query_id``'s terminal RESULT/ERROR.
+
+    Tests that multiplex several queries on one blocking connection
+    (unsupported by the public iterator API on purpose) read the wire
+    directly through the client's decoder.
+    """
+    while True:
+        frame = client._next_frame()
+        if frame.get("id") == query_id and frame["type"] in ("result", "error"):
+            return frame
+
+
+@pytest.fixture
+def graph():
+    return generators.random_graph(
+        150, 450, num_query_labels=6, label_frequency=5, seed=7
+    )
+
+
+@pytest.fixture
+def hanging_pruneddp(monkeypatch):
+    """Swap pruneddp++ for a solver that wedges until cancelled."""
+    real = solver_mod.ALGORITHMS["pruneddp++"]
+
+    class Hanging(real):
+        def run_search(self, context, prepared=None):
+            while not self.budget.cancelled():
+                time.sleep(0.005)
+            return super().run_search(context, prepared)
+
+    monkeypatch.setitem(solver_mod.ALGORITHMS, "pruneddp++", Hanging)
+    return Hanging
+
+
+class TestStreaming:
+    def test_progress_frames_before_result(self, graph):
+        """The acceptance criterion: a query over real TCP yields >= 2
+        PROGRESS frames with non-increasing UB/LB ratio, then RESULT."""
+        labels = ["q0", "q1", "q2", "q3"]
+        with ServerHarness(graph, algorithm="basic") as harness:
+            with GSTClient("127.0.0.1", harness.port) as client:
+                updates = list(client.solve_stream(labels))
+        progress = [u for u in updates if not u.final]
+        assert len(progress) >= 2
+        # The stream is the paper's anytime curve: UB never increases,
+        # LB never decreases, so the ratio is non-increasing.
+        for earlier, later in zip(updates, updates[1:]):
+            assert later.ratio <= earlier.ratio + 1e-12
+            assert later.best_weight <= earlier.best_weight + 1e-12
+            assert later.lower_bound >= earlier.lower_bound - 1e-12
+        final = updates[-1]
+        assert final.final and final.status == "ok"
+        assert updates[:-1] == progress  # RESULT strictly last
+        # The streamed answer matches an in-process exact solve.
+        expected = solve_gst(graph, labels, algorithm="basic")
+        assert final.best_weight == pytest.approx(expected.weight)
+        assert final.result["optimal"] is True
+
+    def test_hello_frame_describes_server(self, graph):
+        with ServerHarness(graph, max_inflight=2) as harness:
+            with GSTClient("127.0.0.1", harness.port) as client:
+                hello = client.hello
+        assert hello["graph"]["nodes"] == graph.num_nodes
+        assert hello["max_inflight"] == 2
+
+    def test_sequential_queries_on_one_connection(self, graph):
+        with ServerHarness(graph, algorithm="basic") as harness:
+            with GSTClient("127.0.0.1", harness.port) as client:
+                first = client.solve(["q0", "q1"])
+                second = client.solve(["q2", "q3"])
+        assert first.final and second.final
+        assert first.query_id != second.query_id
+
+    def test_async_client(self, graph):
+        labels = ["q0", "q1", "q2"]
+
+        async def scenario():
+            from repro.server import AsyncGSTClient
+
+            async with GSTServer(graph, algorithm="basic") as server:
+                client = await AsyncGSTClient.connect(
+                    "127.0.0.1", server.port
+                )
+                updates = []
+                async for update in client.solve_stream(labels):
+                    updates.append(update)
+                await client.close()
+                return updates
+
+        updates = asyncio.run(scenario())
+        assert len(updates) >= 3 and updates[-1].final
+
+    def test_epsilon_override_stops_early(self, graph):
+        """A per-query epsilon terminates at a proven (1+eps) gap."""
+        with ServerHarness(graph, algorithm="basic") as harness:
+            with GSTClient("127.0.0.1", harness.port) as client:
+                final = client.solve(["q0", "q1", "q2"], epsilon=0.5)
+        assert final.ratio <= 1.5 + 1e-9
+
+
+class TestErrors:
+    def test_infeasible_query_is_typed_error(self, graph):
+        with ServerHarness(graph) as harness:
+            with GSTClient("127.0.0.1", harness.port) as client:
+                with pytest.raises(RemoteQueryError) as excinfo:
+                    client.solve(["q0", "no-such-label"])
+        assert excinfo.value.code == "infeasible"
+
+    def test_admission_rejection_is_typed_error(self, graph):
+        from repro.service import AdmissionPolicy
+
+        with ServerHarness(
+            graph, admission=AdmissionPolicy(max_estimated_states=1)
+        ) as harness:
+            with GSTClient("127.0.0.1", harness.port) as client:
+                with pytest.raises(RemoteQueryError) as excinfo:
+                    client.solve(["q0", "q1", "q2"])
+        assert excinfo.value.code == "rejected"
+        assert excinfo.value.details.get("estimated_states", 0) > 1
+
+    def test_bad_request_empty_labels(self, graph):
+        with ServerHarness(graph) as harness:
+            with GSTClient("127.0.0.1", harness.port) as client:
+                client._send(query_frame(1, []))
+                frame = _terminal_frame(client, 1)
+        assert frame["type"] == "error"
+        assert frame["code"] == "bad_request"
+
+    def test_overloaded_beyond_max_inflight(self, graph, hanging_pruneddp):
+        with ServerHarness(graph, max_inflight=1, max_workers=4) as harness:
+            with GSTClient("127.0.0.1", harness.port) as client:
+                client._send(query_frame(1, ["q0", "q1"]))
+                assert _wait_until(
+                    lambda: harness.server.stats.queries_received == 1
+                )
+                client._send(query_frame(2, ["q2", "q3"]))
+                overloaded = _terminal_frame(client, 2)
+                assert overloaded["type"] == "error"
+                assert overloaded["code"] == "overloaded"
+                # Unwedge query 1 so teardown is immediate.
+                client.cancel(1)
+                cancelled = _terminal_frame(client, 1)
+                assert cancelled["type"] == "error"
+                assert cancelled["code"] == "cancelled"
+
+
+class TestCancellation:
+    def test_client_disconnect_cancels_server_side_search(
+        self, graph, hanging_pruneddp
+    ):
+        """The acceptance criterion: a vanished client must not leave a
+        worker wedged — its token fires and the engine stops within the
+        resilience pop bound."""
+        with ServerHarness(graph, max_workers=1) as harness:
+            client = GSTClient("127.0.0.1", harness.port)
+            client._send(query_frame(1, ["q0", "q1"]))
+            assert _wait_until(lambda: harness.server.inflight_queries == 1)
+            client.close()  # vanish mid-query
+            assert _wait_until(
+                lambda: harness.server.inflight_queries == 0, timeout=10
+            ), "server-side search was not cancelled after disconnect"
+            assert harness.server.stats.queries_cancelled >= 1
+
+    def test_cancel_frame_stops_query(self, graph, hanging_pruneddp):
+        with ServerHarness(graph) as harness:
+            with GSTClient("127.0.0.1", harness.port) as client:
+                client._send(query_frame(1, ["q0", "q1"]))
+                assert _wait_until(
+                    lambda: harness.server.inflight_queries == 1
+                )
+                client.cancel(1)
+                frame = _terminal_frame(client, 1)
+        # The wedge was cancelled before any incumbent existed, so the
+        # terminal frame is a typed cancellation error.
+        assert frame["type"] == "error"
+        assert frame["code"] == "cancelled"
+
+
+class TestDrain:
+    def test_drain_rejects_new_queries_and_cancels_inflight(
+        self, graph, hanging_pruneddp
+    ):
+        with ServerHarness(graph) as harness:
+            with GSTClient("127.0.0.1", harness.port) as client:
+                client._send(query_frame(1, ["q0", "q1"]))
+                assert _wait_until(
+                    lambda: harness.server.inflight_queries == 1
+                )
+                drain_future = harness.start_drain(grace=0.2)
+                assert _wait_until(lambda: harness.server.draining)
+                client._send(query_frame(2, ["q2", "q3"]))
+                frames = {}
+                while len(frames) < 2:
+                    frame = client._next_frame()
+                    if frame["type"] in ("result", "error"):
+                        frames[frame["id"]] = frame
+                drain_future.result(timeout=30)
+        # The new query was refused; the wedged one was cancelled by
+        # the grace deadline instead of blocking the drain forever.
+        assert frames[2]["type"] == "error"
+        assert frames[2]["code"] == "draining"
+        assert frames[1]["type"] == "error"
+        assert frames[1]["code"] == "cancelled"
+
+    def test_drain_flushes_trace_sink(self, graph, tmp_path):
+        traces = str(tmp_path / "traces.jsonl")
+        with ServerHarness(
+            graph, algorithm="basic", trace_sink=traces
+        ) as harness:
+            with GSTClient("127.0.0.1", harness.port) as client:
+                client.solve(["q0", "q1"])
+            harness.drain()
+            assert harness.server.executor.trace_sink.closed
+        with open(traces, encoding="utf-8") as handle:
+            records = [json.loads(line) for line in handle]
+        assert len(records) == 1
+        assert records[0]["status"] == "ok"
+
+    def test_drain_is_idempotent(self, graph):
+        with ServerHarness(graph) as harness:
+            harness.drain()
+            harness.drain()
+        assert harness.server.draining
+
+
+class TestConstruction:
+    def test_process_isolation_rejected(self, graph):
+        with pytest.raises(ValueError, match="thread"):
+            GSTServer(graph, isolation="process")
+
+    def test_executor_and_kwargs_are_exclusive(self, graph):
+        from repro.service import QueryExecutor
+
+        executor = QueryExecutor(graph)
+        try:
+            with pytest.raises(ValueError, match="not both"):
+                GSTServer(graph, executor=executor, max_workers=2)
+        finally:
+            executor.shutdown()

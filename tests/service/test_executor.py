@@ -237,3 +237,82 @@ class TestTraceStreaming:
             "search",
             "feasible",
         }
+
+class TestProgressThreading:
+    """on_progress flows executor -> engine: any embedder can observe
+    the anytime UB/LB stream, not just an in-process solve_gst call."""
+
+    def test_submit_streams_monotone_progress(self, index):
+        points = []
+        with QueryExecutor(index, max_workers=1) as executor:
+            outcome = executor.submit(
+                ["q0", "q1", "q2"], algorithm="basic", on_progress=points.append
+            ).result()
+        assert outcome.ok
+        assert len(points) >= 2
+        # The progressive contract: UB never increases, LB never
+        # decreases across the stream.
+        for earlier, later in zip(points, points[1:]):
+            assert later.best_weight <= earlier.best_weight + 1e-12
+            assert later.lower_bound >= earlier.lower_bound - 1e-12
+        assert points[-1].best_weight == pytest.approx(outcome.result.weight)
+
+    def test_run_batch_disambiguates_queries(self, index):
+        seen = {}
+        queries = [["q0", "q1"], ["q2", "q3"]]
+
+        def on_progress(query_id, point):
+            seen.setdefault(query_id, []).append(point)
+
+        with QueryExecutor(index, max_workers=2) as executor:
+            outcomes = executor.run_batch(
+                queries, algorithm="basic", on_progress=on_progress
+            )
+        assert all(o.ok for o in outcomes)
+        assert set(seen) == {0, 1}
+        for query_id, points in seen.items():
+            assert points[-1].best_weight == pytest.approx(
+                outcomes[query_id].result.weight
+            )
+
+    def test_progress_rejected_under_process_isolation(self, index):
+        executor = QueryExecutor(index, isolation="process")
+        try:
+            with pytest.raises(ValueError, match="process boundary"):
+                executor.submit(["q0", "q1"], on_progress=lambda p: None)
+        finally:
+            executor.shutdown(wait=False)
+
+    def test_dpbf_emits_single_terminal_point(self, index):
+        points = []
+        with QueryExecutor(index, max_workers=1) as executor:
+            outcome = executor.submit(
+                ["q0", "q1"], algorithm="dpbf", on_progress=points.append
+            ).result()
+        assert outcome.ok
+        assert len(points) == 1
+        assert points[0].best_weight == pytest.approx(outcome.result.weight)
+        assert points[0].lower_bound == pytest.approx(outcome.result.weight)
+
+
+class TestSinkOwnership:
+    def test_path_sink_owned_and_closed_on_shutdown(self, index, tmp_path):
+        path = str(tmp_path / "owned.jsonl")
+        executor = QueryExecutor(index, max_workers=1, trace_sink=path)
+        executor.run_batch([["q0", "q1"]])
+        executor.shutdown()
+        assert executor.trace_sink.closed
+        with open(path, encoding="utf-8") as handle:
+            assert len(handle.readlines()) == 1
+
+    def test_borrowed_sink_flushed_not_closed(self, index, tmp_path):
+        path = str(tmp_path / "borrowed.jsonl")
+        with TraceSink(path) as sink:
+            with QueryExecutor(index, max_workers=1, trace_sink=sink) as executor:
+                executor.run_batch([["q0", "q1"]])
+            # The executor's shutdown flushed but did not close: the
+            # owner can keep appending through the same sink.
+            assert not sink.closed
+            with QueryExecutor(index, max_workers=1, trace_sink=sink) as executor:
+                executor.run_batch([["q2", "q3"]])
+            assert sink.count == 2

@@ -130,3 +130,33 @@ class TestEngineEvents:
         # The recorded stages account for (almost) all of the wall time.
         assert trace.stage_total <= trace.wall_seconds
         assert trace.stage_total >= 0.5 * trace.wall_seconds
+
+class TestTraceSinkLifecycle:
+    def test_close_is_idempotent(self, tmp_path):
+        sink = TraceSink(str(tmp_path / "out.jsonl"))
+        sink.write(_trace())
+        sink.close()
+        sink.close()  # second owner closing defensively: no error
+        assert sink.closed
+
+    def test_close_flushes_borrowed_file(self):
+        buffer = io.StringIO()
+        sink = TraceSink(buffer)
+        sink.write(_trace())
+        sink.close()
+        sink.close()
+        assert sink.closed
+        assert not buffer.closed
+        assert buffer.getvalue().count("\n") == 1
+
+    def test_write_after_close_raises(self, tmp_path):
+        sink = TraceSink(str(tmp_path / "out.jsonl"))
+        sink.close()
+        with pytest.raises(ValueError, match="closed"):
+            sink.write(_trace())
+
+    def test_flush_safe_after_close(self, tmp_path):
+        sink = TraceSink(str(tmp_path / "out.jsonl"))
+        sink.write(_trace())
+        sink.close()
+        sink.flush()  # no-op, never an error on a closed sink
