@@ -1,0 +1,147 @@
+#!/usr/bin/env python
+"""Metrics smoke: the observability deployment shape, end to end.
+
+The :mod:`repro.obs` acceptance check, runnable anywhere (CI job, cron,
+laptop): generate a graph, launch a real ``python -m repro serve
+--metrics-port 0`` subprocess, run a query over TCP, then scrape the
+HTTP exposition endpoint exactly as Prometheus would.  The run fails
+loudly unless
+
+* the server announces both its query port and its metrics port;
+* after one query, the ``STATS`` frame reports the query and carries a
+  registry snapshot that agrees with it;
+* ``GET /metrics`` returns a body that parses as valid Prometheus text
+  exposition format (strict grammar, via
+  :func:`repro.obs.parse_exposition`);
+* the scraped ``gst_queries_total`` and ``gst_server_events_total``
+  counters are non-zero — the registry saw the query the wire served;
+* SIGTERM drains gracefully and the server exits 0.
+
+Exit code 0 on success, 1 with a diagnostic on any violation.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+
+QUERY = ["q0", "q1", "q2"]
+
+
+def fail(message: str) -> int:
+    print(f"metrics_smoke: FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def main() -> int:
+    from repro.graph import generators
+    from repro.graph.io import save_graph
+    from repro.obs import parse_exposition
+    from repro.server import GSTClient
+
+    tmp = tempfile.mkdtemp(prefix="metrics-smoke-")
+    stem = os.path.join(tmp, "graph")
+    graph = generators.random_graph(
+        200, 600, num_query_labels=6, label_frequency=5, seed=11
+    )
+    save_graph(graph, stem)
+
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--graph", stem, "--port", "0",
+            "--metrics-port", "0", "--algorithm", "basic",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        banner = proc.stdout.readline()
+        match = re.search(r"on \S+:(\d+)", banner)
+        if not match:
+            return fail(f"no port announcement in banner: {banner!r}")
+        port = int(match.group(1))
+        metrics_line = proc.stdout.readline()
+        match = re.search(r"metrics: http://\S+:(\d+)/metrics", metrics_line)
+        if not match:
+            return fail(f"no metrics-port announcement: {metrics_line!r}")
+        metrics_port = int(match.group(1))
+
+        with GSTClient("127.0.0.1", port, timeout=60) as client:
+            final = client.solve(QUERY)
+            if not final.final or final.status != "ok":
+                return fail(f"query did not finish ok: {final}")
+            stats = client.stats()
+        if stats["server"]["results_sent"] != 1:
+            return fail(f"STATS frame missed the query: {stats['server']}")
+        snapshot = stats["metrics"]
+        if "gst_queries_total" not in snapshot:
+            return fail("registry snapshot lacks gst_queries_total")
+
+        url = f"http://127.0.0.1:{metrics_port}/metrics"
+        with urllib.request.urlopen(url, timeout=30) as response:
+            if response.status != 200:
+                return fail(f"GET /metrics returned {response.status}")
+            content_type = response.headers.get("Content-Type", "")
+            if not content_type.startswith("text/plain"):
+                return fail(f"unexpected content type: {content_type!r}")
+            text = response.read().decode("utf-8")
+
+        try:
+            families = parse_exposition(text)
+        except ValueError as exc:
+            return fail(f"exposition is not valid Prometheus text: {exc}")
+
+        def total(name: str) -> float:
+            family = families.get(name)
+            if family is None:
+                return 0.0
+            return sum(value for _, _, value in family["samples"])
+
+        queries_total = total("gst_queries_total")
+        if queries_total < 1:
+            return fail(
+                f"gst_queries_total is {queries_total}; the scrape did not "
+                "see the query the wire served"
+            )
+        if total("gst_server_events_total") < 1:
+            return fail("gst_server_events_total is zero after a query")
+        if families.get("gst_queries_total", {}).get("type") != "counter":
+            return fail("gst_queries_total is not typed as a counter")
+
+        proc.send_signal(signal.SIGTERM)
+        try:
+            returncode = proc.wait(timeout=60)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            return fail("server did not drain within 60s of SIGTERM")
+        if returncode != 0:
+            return fail(f"drain exited {returncode}, expected 0")
+
+        print(
+            f"metrics_smoke: OK — {len(families)} families scraped, "
+            f"gst_queries_total={queries_total:g}, exposition valid, "
+            "drained exit 0"
+        )
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+
+if __name__ == "__main__":
+    started = time.perf_counter()
+    code = main()
+    print(
+        f"metrics_smoke: {time.perf_counter() - started:.1f}s",
+        file=sys.stderr,
+    )
+    sys.exit(code)

@@ -83,6 +83,10 @@ from .server import (
     GSTServer,
     StreamUpdate,
 )
+from .obs import (
+    MetricsRegistry,
+    get_registry,
+)
 
 __version__ = "1.0.0"
 
@@ -139,5 +143,7 @@ __all__ = [
     "GSTClient",
     "AsyncGSTClient",
     "StreamUpdate",
+    "MetricsRegistry",
+    "get_registry",
     "__version__",
 ]

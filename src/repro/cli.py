@@ -15,6 +15,9 @@ Commands
                 to completion after a crash or interruption.
 ``verify``      Cross-check every algorithm tier on one instance and
                 certify each answer (replays minimized fuzz reproducers).
+``metrics``     Dump the process-wide metrics registry (:mod:`repro.obs`)
+                in Prometheus text exposition format — optionally after
+                running a query workload so the counters are non-zero.
 ``fuzz``        Seeded differential sweep over random instances
                 (:mod:`repro.verify`); failures are minimized and saved.
 
@@ -195,6 +198,10 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="SECONDS",
                        help="on SIGTERM/SIGINT: wait this long for in-flight "
                             "queries before cancelling them (default: wait)")
+    serve.add_argument("--metrics-port", type=int, default=None, metavar="N",
+                       help="also serve the Prometheus text exposition of "
+                            "the metrics registry over HTTP on this port "
+                            "(0 picks a free one; default: off)")
 
     res = sub.add_parser(
         "resume",
@@ -256,6 +263,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     info = sub.add_parser("info", help="summarize a stored graph")
     info.add_argument("--graph", required=True, help="graph file stem")
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="dump the metrics registry in Prometheus text format",
+    )
+    metrics.add_argument("--graph", default=None, help="graph file stem: "
+                         "run a workload first so counters are non-zero")
+    metrics.add_argument("--queries", default=None,
+                         help="query file to run before dumping "
+                              "(requires --graph)")
+    metrics.add_argument(
+        "--algorithm",
+        default="pruneddp++",
+        choices=sorted(ALGORITHMS) + ["auto"],
+        help="algorithm for the --queries workload",
+    )
 
     verify = sub.add_parser(
         "verify",
@@ -693,6 +716,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             trace_sink=args.traces,
             admission=admission,
             checkpoint_dir=args.checkpoint_dir,
+            metrics_port=args.metrics_port,
         )
         await server.start()
         print(
@@ -701,6 +725,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"[{args.algorithm}]",
             flush=True,
         )
+        if server.metrics_port is not None:
+            print(
+                f"metrics: http://{server.host}:{server.metrics_port}/metrics",
+                flush=True,
+            )
         loop = asyncio.get_running_loop()
         stop = asyncio.Event()
         received: dict = {"signum": None}
@@ -907,6 +936,30 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from .obs import get_registry, register_all
+
+    registry = get_registry()
+    # Register every known family up front so the dump is the complete
+    # metric inventory even when a counter has never fired.
+    register_all(registry)
+    if args.queries is not None and args.graph is None:
+        raise ReproError("--queries requires --graph")
+    if args.graph is not None:
+        from .service import GraphIndex, QueryExecutor
+
+        graph = load_graph(args.graph)
+        index = GraphIndex(graph)
+        queries = (
+            _read_query_file(args.queries) if args.queries is not None else []
+        )
+        if queries:
+            with QueryExecutor(index, algorithm=args.algorithm) as executor:
+                executor.run_batch(queries)
+    sys.stdout.write(registry.render_exposition())
+    return 0
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     from .verify import verify_instance
 
@@ -1012,6 +1065,7 @@ _COMMANDS = {
     "precompute": _cmd_precompute,
     "generate": _cmd_generate,
     "info": _cmd_info,
+    "metrics": _cmd_metrics,
     "verify": _cmd_verify,
     "fuzz": _cmd_fuzz,
     "bench": _cmd_bench,

@@ -161,15 +161,23 @@ class Budget:
     # Deadline arithmetic
     # ------------------------------------------------------------------
     def remaining(self) -> Optional[float]:
-        """Seconds until the deadline (``None`` when no deadline set)."""
+        """Seconds until the deadline (``None`` when no deadline set).
+
+        Clamped at 0.0: an already-passed deadline reports *zero*
+        seconds left, never a negative number — callers multiply this
+        into time allowances (admission headroom, effective time
+        limits) where a negative value would silently corrupt the
+        arithmetic instead of meaning "no time left".
+        """
         if self.deadline is None:
             return None
-        return self.deadline - time.perf_counter()
+        return max(0.0, self.deadline - time.perf_counter())
 
     def expired(self) -> bool:
         """Whether the deadline has passed (never true without one)."""
-        remaining = self.remaining()
-        return remaining is not None and remaining <= 0.0
+        if self.deadline is None:
+            return False
+        return time.perf_counter() >= self.deadline
 
     def cancelled(self) -> bool:
         """Whether the attached cancellation token (if any) has fired."""

@@ -239,6 +239,7 @@ class SearchEngine:
                     continue  # Algorithm 2 line 18
 
             if self.prune_half and cost >= self._best / 2.0:
+                self.stats.states_pruned += 1
                 continue  # Theorem 1: no expansion needed
 
             self._expand(node, mask, cost, parent_f)
@@ -346,12 +347,13 @@ class SearchEngine:
         expanded = stats.states_expanded
         grown = stats.edges_grown
         merges = stats.merges_performed
+        pruned = stats.states_pruned
 
         def update(node, mask, cost, backpointer, parent_f):
             # Inlined twin of ``_update`` (Alg 1 lines 21-26 / Alg 4
             # 28-36) over packed keys; reads ``self._best`` fresh so
             # mid-expansion incumbent drops tighten pruning immediately.
-            nonlocal pushes
+            nonlocal pushes, pruned
             settled = store_cost[node].get(mask)
             if settled is not None:
                 if cost >= settled - eps:
@@ -363,6 +365,7 @@ class SearchEngine:
             else:
                 f_value = cost
             if f_value >= self._best:
+                pruned += 1
                 return
             if mask == full and cost < self._best - eps:
                 self._adopt_best_state(node, mask, cost, backpointer)
@@ -398,6 +401,7 @@ class SearchEngine:
                     stats.states_expanded = expanded
                     stats.edges_grown = grown
                     stats.merges_performed = merges
+                    stats.states_pruned = pruned
                     checkpointer.maybe_checkpoint(self)
                 pops_since_check += 1
                 if pops_since_check >= _LIMIT_CHECK_INTERVAL:
@@ -450,6 +454,7 @@ class SearchEngine:
                         continue  # Algorithm 2 line 18
 
                 if prune_half and cost >= self._best / 2.0:
+                    pruned += 1
                     continue  # Theorem 1: no expansion needed
 
                 expanded += 1
@@ -497,6 +502,7 @@ class SearchEngine:
             stats.states_expanded = expanded
             stats.edges_grown = grown
             stats.merges_performed = merges
+            stats.states_pruned = pruned
 
         if self._best < INF and self._global_lb >= self._best - eps:
             optimal = True
@@ -581,6 +587,8 @@ class SearchEngine:
                 "states_popped": stats.states_popped,
                 "states_pushed": stats.states_pushed,
                 "states_expanded": stats.states_expanded,
+                "states_pruned": stats.states_pruned,
+                "incumbent_improvements": stats.incumbent_improvements,
                 "merges_performed": stats.merges_performed,
                 "edges_grown": stats.edges_grown,
                 "feasible_built": stats.feasible_built,
@@ -633,6 +641,10 @@ class SearchEngine:
         stats.states_popped = int(counters.get("states_popped", 0))
         stats.states_pushed = int(counters.get("states_pushed", 0))
         stats.states_expanded = int(counters.get("states_expanded", 0))
+        stats.states_pruned = int(counters.get("states_pruned", 0))
+        stats.incumbent_improvements = int(
+            counters.get("incumbent_improvements", 0)
+        )
         stats.merges_performed = int(counters.get("merges_performed", 0))
         stats.edges_grown = int(counters.get("edges_grown", 0))
         stats.feasible_built = int(counters.get("feasible_built", 0))
@@ -715,6 +727,7 @@ class SearchEngine:
             f_value = cost
 
         if f_value >= self._best:
+            self.stats.states_pruned += 1
             return  # cannot improve on the best feasible solution
 
         if mask == self._full and cost < self._best - _COST_EPS:
@@ -755,6 +768,7 @@ class SearchEngine:
         if tree.weight < self._best - _COST_EPS:
             self._best = tree.weight
             self._best_tree = tree
+            self.stats.incumbent_improvements += 1
             self._clamp_stale_lb()
             self._emit("new_best", weight=tree.weight, elapsed=self._elapsed())
             self._record_progress()
@@ -819,6 +833,7 @@ class SearchEngine:
         if tree.weight < self._best - _COST_EPS:
             self._best = tree.weight
             self._best_tree = tree
+            self.stats.incumbent_improvements += 1
             self._clamp_stale_lb()
             self._emit("new_best", weight=tree.weight, elapsed=self._elapsed())
             self._record_progress()
@@ -837,6 +852,7 @@ class SearchEngine:
         # union is even lighter than the state cost; keep the real weight.
         self._best = min(cost, tree.weight)
         self._best_tree = tree
+        self.stats.incumbent_improvements += 1
         self._clamp_stale_lb()
         if self.on_feasible is not None:
             self.on_feasible(tree)

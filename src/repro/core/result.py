@@ -76,6 +76,11 @@ class SearchStats:
     states_popped: int = 0
     states_pushed: int = 0
     states_expanded: int = 0
+    # States rejected by the bound test (f >= incumbent) or the
+    # PrunedDP half-weight rule before doing any work.
+    states_pruned: int = 0
+    # Times the incumbent (best feasible tree) strictly improved.
+    incumbent_improvements: int = 0
     merges_performed: int = 0
     edges_grown: int = 0
     feasible_built: int = 0
@@ -107,6 +112,8 @@ class SearchStats:
             "states_popped": self.states_popped,
             "states_pushed": self.states_pushed,
             "states_expanded": self.states_expanded,
+            "states_pruned": self.states_pruned,
+            "incumbent_improvements": self.incumbent_improvements,
             "merges_performed": self.merges_performed,
             "edges_grown": self.edges_grown,
             "feasible_built": self.feasible_built,

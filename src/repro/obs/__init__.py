@@ -1,0 +1,44 @@
+"""repro.obs — process-wide metrics and observability.
+
+The registry (:mod:`repro.obs.registry`) holds labeled
+Counter/Gauge/Histogram families behind per-metric locks and renders
+the Prometheus text exposition format.  The inventory of every metric
+the serving stack emits lives in :mod:`repro.obs.instruments`, and
+:mod:`repro.obs.http` serves the exposition over a minimal HTTP
+responder on the server's event loop (``repro serve --metrics-port``).
+
+Quick look at what the process has done so far::
+
+    from repro.obs import get_registry
+    print(get_registry().render_exposition())
+"""
+
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    parse_exposition,
+    DEFAULT_LATENCY_BUCKETS,
+    EPSILON_BUCKETS,
+)
+from . import instruments
+from .instruments import inventory, record_query_trace, register_all
+from .http import start_metrics_server
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "parse_exposition",
+    "instruments",
+    "inventory",
+    "record_query_trace",
+    "register_all",
+    "start_metrics_server",
+    "DEFAULT_LATENCY_BUCKETS",
+    "EPSILON_BUCKETS",
+]

@@ -1,0 +1,92 @@
+"""A minimal asyncio HTTP responder for the metrics exposition.
+
+``repro serve --metrics-port N`` mounts this next to the query server
+on the same event loop: GET ``/metrics`` (or ``/``) returns the
+registry's Prometheus text exposition.  It speaks just enough
+HTTP/1.0 for ``curl`` and a Prometheus scraper — read the request
+head, answer, close — which keeps the dependency surface at zero.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional
+
+from .registry import MetricsRegistry, get_registry
+
+__all__ = ["start_metrics_server", "CONTENT_TYPE"]
+
+#: The Prometheus text exposition content type.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_MAX_HEAD_LINES = 100
+_READ_TIMEOUT = 5.0
+
+
+def _response(status: str, content_type: str, body: bytes) -> bytes:
+    head = (
+        f"HTTP/1.0 {status}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    )
+    return head.encode("ascii") + body
+
+
+async def _handle(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    registry: MetricsRegistry,
+) -> None:
+    try:
+        request_line = await asyncio.wait_for(
+            reader.readline(), timeout=_READ_TIMEOUT
+        )
+        parts = request_line.decode("latin-1", "replace").split()
+        # Drain the header block so well-behaved clients see a clean close.
+        for _ in range(_MAX_HEAD_LINES):
+            line = await asyncio.wait_for(reader.readline(), timeout=_READ_TIMEOUT)
+            if not line or line in (b"\r\n", b"\n"):
+                break
+        if len(parts) < 2 or parts[0] not in ("GET", "HEAD"):
+            writer.write(
+                _response("405 Method Not Allowed", "text/plain", b"GET only\n")
+            )
+        elif parts[1].split("?", 1)[0] not in ("/", "/metrics"):
+            writer.write(
+                _response("404 Not Found", "text/plain", b"try /metrics\n")
+            )
+        else:
+            body = registry.render_exposition().encode("utf-8")
+            if parts[0] == "HEAD":
+                body = b""
+            writer.write(_response("200 OK", CONTENT_TYPE, body))
+        await writer.drain()
+    except (asyncio.TimeoutError, ConnectionError, OSError):
+        pass
+    finally:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def start_metrics_server(
+    host: str,
+    port: int,
+    registry: Optional[MetricsRegistry] = None,
+) -> asyncio.AbstractServer:
+    """Bind the exposition endpoint; ``port=0`` picks a free port.
+
+    Returns the ``asyncio.AbstractServer``; the bound port is
+    ``server.sockets[0].getsockname()[1]``.  Close it with
+    ``server.close(); await server.wait_closed()``.
+    """
+    reg = registry if registry is not None else get_registry()
+
+    async def handler(reader, writer):
+        await _handle(reader, writer, reg)
+
+    return await asyncio.start_server(handler, host, port)

@@ -40,6 +40,7 @@ from .protocol import (
     encode_frame,
     load_number,
     query_frame,
+    stats_frame,
 )
 
 __all__ = ["GSTClient", "AsyncGSTClient", "StreamUpdate"]
@@ -214,6 +215,23 @@ class GSTClient:
         """
         self._send(cancel_frame(query_id))
 
+    def stats(self) -> Dict[str, Any]:
+        """Fetch the server's STATS frame: counters + registry snapshot.
+
+        Returns the raw frame dict — ``frame["server"]`` is the
+        per-server counter dict, ``frame["metrics"]`` the process-wide
+        :mod:`repro.obs` registry snapshot, ``frame["inflight"]`` the
+        number of queries currently executing.  Call it between
+        queries: frames belonging to abandoned earlier streams are
+        skipped while waiting for the STATS response.
+        """
+        request_id = next(self._ids)
+        self._send(stats_frame(request_id))
+        while True:
+            frame = self._next_frame()
+            if frame.get("type") == protocol.STATS:
+                return frame
+
     def close(self) -> None:
         """Close the connection; the server cancels anything in flight."""
         if not self._closed:
@@ -337,6 +355,15 @@ class AsyncGSTClient:
 
     async def cancel(self, query_id) -> None:
         await self._send(cancel_frame(query_id))
+
+    async def stats(self) -> Dict[str, Any]:
+        """Async twin of :meth:`GSTClient.stats`."""
+        request_id = next(self._ids)
+        await self._send(stats_frame(request_id))
+        while True:
+            frame = await self._next_frame()
+            if frame.get("type") == protocol.STATS:
+                return frame
 
     async def close(self) -> None:
         self._writer.close()

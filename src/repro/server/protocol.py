@@ -30,6 +30,12 @@ Frame types
 ``CANCEL``    client → server: fire the server-side
               :class:`~repro.core.budget.CancellationToken` of query
               ``id``; the engine stops within its bounded pop interval.
+``STATS``     client → server: ask for the server's counters; the
+              server answers with a STATS frame echoing the request
+              ``id`` and carrying ``server`` (the per-server
+              ``ServerStats`` dict), ``inflight``, and ``metrics``
+              (the process-wide registry snapshot — see
+              :mod:`repro.obs`).
 
 Safety: frames larger than ``max_frame_bytes`` are rejected *from the
 length prefix alone* — the codec never buffers an attacker-controlled
@@ -58,6 +64,7 @@ __all__ = [
     "RESULT",
     "ERROR",
     "CANCEL",
+    "STATS",
     "FRAME_TYPES",
     "encode_frame",
     "FrameDecoder",
@@ -67,6 +74,7 @@ __all__ = [
     "result_frame",
     "error_frame",
     "cancel_frame",
+    "stats_frame",
     "dump_number",
     "load_number",
 ]
@@ -87,7 +95,8 @@ PROGRESS = "progress"
 RESULT = "result"
 ERROR = "error"
 CANCEL = "cancel"
-FRAME_TYPES = frozenset({HELLO, QUERY, PROGRESS, RESULT, ERROR, CANCEL})
+STATS = "stats"
+FRAME_TYPES = frozenset({HELLO, QUERY, PROGRESS, RESULT, ERROR, CANCEL, STATS})
 
 _INF = float("inf")
 
@@ -285,3 +294,21 @@ def error_frame(query_id, code: str, message: str, **details) -> Dict[str, Any]:
 
 def cancel_frame(query_id) -> Dict[str, Any]:
     return {"type": CANCEL, "id": query_id}
+
+
+def stats_frame(
+    query_id=None,
+    *,
+    server: Optional[Dict[str, Any]] = None,
+    metrics: Optional[Dict[str, Any]] = None,
+    inflight: Optional[int] = None,
+) -> Dict[str, Any]:
+    """A STATS request (no payload kwargs) or response (with them)."""
+    frame: Dict[str, Any] = {"type": STATS, "id": query_id}
+    if server is not None:
+        frame["server"] = server
+    if metrics is not None:
+        frame["metrics"] = metrics
+    if inflight is not None:
+        frame["inflight"] = inflight
+    return frame

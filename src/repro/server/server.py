@@ -43,6 +43,7 @@ attached :class:`~repro.service.TraceSink`.
 from __future__ import annotations
 
 import asyncio
+import time
 from typing import Any, Dict, Optional, Set, Union
 
 from ..core.budget import Budget, CancellationToken
@@ -56,6 +57,8 @@ from ..errors import (
     QueryRejectedError,
 )
 from ..graph.graph import Graph
+from ..obs import get_registry, instruments
+from ..obs.http import start_metrics_server
 from ..service.executor import QueryExecutor
 from ..service.index import GraphIndex, QueryOutcome
 from . import protocol
@@ -67,6 +70,7 @@ from .protocol import (
     hello_frame,
     progress_frame,
     result_frame,
+    stats_frame,
 )
 
 __all__ = ["GSTServer", "ServerStats", "DEFAULT_MAX_INFLIGHT"]
@@ -80,20 +84,49 @@ _READ_CHUNK = 1 << 16
 
 
 class ServerStats:
-    """Monotone counters the tests and the CLI status line read."""
+    """Monotone counters the tests and the CLI status line read.
 
-    def __init__(self) -> None:
-        self.connections_accepted = 0
-        self.connections_closed = 0
-        self.queries_received = 0
-        self.progress_frames_sent = 0
-        self.results_sent = 0
-        self.errors_sent = 0
-        self.queries_cancelled = 0
-        self.protocol_errors = 0
+    A thin *view* over the process-wide metrics registry: every
+    increment goes straight into ``gst_server_events_total{event=...}``
+    and attribute reads come back as deltas against the registry
+    values captured at construction.  There is exactly one underlying
+    count, so this object and the exposition can never disagree — the
+    tentpole's no-drift rule applied to the server's own counters.
+    """
+
+    FIELDS = (
+        "connections_accepted",
+        "connections_closed",
+        "queries_received",
+        "progress_frames_sent",
+        "results_sent",
+        "errors_sent",
+        "queries_cancelled",
+        "protocol_errors",
+        "stats_frames_sent",
+    )
+
+    def __init__(self, registry=None) -> None:
+        counter = instruments.server_events(registry)
+        self._children = {
+            field: counter.labels(event=field) for field in self.FIELDS
+        }
+        self._base = {
+            field: child.value for field, child in self._children.items()
+        }
+
+    def inc(self, event: str, amount: int = 1) -> None:
+        self._children[event].inc(amount)
+
+    def __getattr__(self, name: str) -> int:
+        # Only called when normal lookup misses: the counter fields.
+        children = self.__dict__.get("_children")
+        if children is not None and name in children:
+            return int(children[name].value - self.__dict__["_base"][name])
+        raise AttributeError(name)
 
     def to_dict(self) -> Dict[str, int]:
-        return dict(vars(self))
+        return {field: getattr(self, field) for field in self.FIELDS}
 
 
 class _Connection:
@@ -133,6 +166,12 @@ class GSTServer:
     drain_grace:
         Seconds :meth:`drain` waits for in-flight queries before
         cancelling them (``None`` waits forever).
+    metrics_port:
+        When set, :meth:`start` also binds a minimal HTTP responder on
+        ``(host, metrics_port)`` serving the process-wide Prometheus
+        text exposition at ``/metrics`` (``0`` picks a free port; read
+        it back from :attr:`metrics_port`).  Closed again by
+        :meth:`drain`.
     executor:
         Bring your own configured :class:`~repro.service.QueryExecutor`
         (must use thread isolation — progress callbacks cannot cross a
@@ -155,6 +194,7 @@ class GSTServer:
         max_inflight: int = DEFAULT_MAX_INFLIGHT,
         max_frame_bytes: int = MAX_FRAME_BYTES,
         drain_grace: Optional[float] = None,
+        metrics_port: Optional[int] = None,
         executor: Optional[QueryExecutor] = None,
         **executor_kwargs,
     ) -> None:
@@ -189,7 +229,11 @@ class GSTServer:
                 "the executor must use isolation='thread'"
             )
         self.stats = ServerStats()
+        self._frames = instruments.server_frames()
+        self._inflight_gauge = instruments.server_inflight()
         self._server: Optional[asyncio.base_events.Server] = None
+        self._requested_metrics_port = metrics_port
+        self._metrics_server: Optional[asyncio.AbstractServer] = None
         self._connections: Set[_Connection] = set()
         self._draining = False
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -203,6 +247,13 @@ class GSTServer:
         if self._server is None:
             return self._requested_port
         return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def metrics_port(self) -> Optional[int]:
+        """The bound exposition port (``None`` when metrics are off)."""
+        if self._metrics_server is None:
+            return self._requested_metrics_port
+        return self._metrics_server.sockets[0].getsockname()[1]
 
     @property
     def draining(self) -> bool:
@@ -221,6 +272,10 @@ class GSTServer:
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self._requested_port
         )
+        if self._requested_metrics_port is not None:
+            self._metrics_server = await start_metrics_server(
+                self.host, self._requested_metrics_port
+            )
 
     async def serve_forever(self) -> None:
         """Block until the server is closed (e.g. by :meth:`drain`)."""
@@ -246,6 +301,7 @@ class GSTServer:
 
         Idempotent; safe to call while queries are mid-flight.
         """
+        drain_started = time.perf_counter()
         self._draining = True
         grace = self.drain_grace if grace is None else grace
         if self._server is not None:
@@ -272,6 +328,15 @@ class GSTServer:
         for conn in list(self._connections):
             conn.closing = True
             conn.writer.close()
+        if self._metrics_server is not None:
+            # The exposition dies last so a scraper can watch the drain
+            # itself; it goes down with the connections.
+            self._metrics_server.close()
+            await self._metrics_server.wait_closed()
+            self._metrics_server = None
+        instruments.server_drain_seconds().set(
+            time.perf_counter() - drain_started
+        )
 
     async def __aenter__(self) -> "GSTServer":
         await self.start()
@@ -286,24 +351,22 @@ class GSTServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        self.stats.connections_accepted += 1
+        self.stats.inc("connections_accepted")
         conn = _Connection(writer)
         self._connections.add(conn)
         try:
-            conn.send(
-                encode_frame(
-                    hello_frame(
-                        graph={
-                            "nodes": self.index.num_nodes,
-                            "edges": self.index.num_edges,
-                            "labels": self.index.num_labels,
-                        },
-                        algorithm=self.algorithm,
-                        max_inflight=self.max_inflight,
-                        max_frame_bytes=self.max_frame_bytes,
-                    ),
+            self._send_frame(
+                conn,
+                hello_frame(
+                    graph={
+                        "nodes": self.index.num_nodes,
+                        "edges": self.index.num_edges,
+                        "labels": self.index.num_labels,
+                    },
+                    algorithm=self.algorithm,
+                    max_inflight=self.max_inflight,
                     max_frame_bytes=self.max_frame_bytes,
-                )
+                ),
             )
             await writer.drain()
             decoder = FrameDecoder(self.max_frame_bytes)
@@ -316,10 +379,13 @@ class GSTServer:
                 except ProtocolError as exc:
                     # One typed ERROR frame, then hang up: a client
                     # whose framing is broken cannot be reasoned with.
-                    self.stats.protocol_errors += 1
+                    self.stats.inc("protocol_errors")
                     self._send_error(conn, None, "protocol", str(exc))
                     break
                 for frame in frames:
+                    self._frames.labels(
+                        direction="received", type=frame["type"]
+                    ).inc()
                     self._dispatch(conn, frame)
         except (ConnectionResetError, BrokenPipeError):
             pass  # disconnect mid-read; the finally block cleans up
@@ -328,7 +394,7 @@ class GSTServer:
             # in flight is searching for an audience that left.  Cancel
             # cooperatively; the engine stops within its pop bound.
             for token in conn.inflight.values():
-                self.stats.queries_cancelled += 1
+                self.stats.inc("queries_cancelled")
                 token.cancel("client disconnected")
             conn.closing = True
             if conn.tasks:
@@ -339,12 +405,16 @@ class GSTServer:
             except (ConnectionResetError, BrokenPipeError):
                 pass
             self._connections.discard(conn)
-            self.stats.connections_closed += 1
+            self._update_inflight()
+            self.stats.inc("connections_closed")
+
+    def _update_inflight(self) -> None:
+        self._inflight_gauge.set(self.inflight_queries)
 
     def _dispatch(self, conn: _Connection, frame: Dict[str, Any]) -> None:
         frame_type = frame["type"]
         if frame_type == protocol.QUERY:
-            self.stats.queries_received += 1
+            self.stats.inc("queries_received")
             query_id = frame.get("id")
             if self._draining:
                 self._send_error(
@@ -378,6 +448,7 @@ class GSTServer:
                 return
             token = CancellationToken()
             conn.inflight[query_id] = token
+            self._update_inflight()
             task = asyncio.ensure_future(
                 self._run_query(conn, query_id, frame, token)
             )
@@ -386,10 +457,23 @@ class GSTServer:
         elif frame_type == protocol.CANCEL:
             token = conn.inflight.get(frame.get("id"))
             if token is not None:
-                self.stats.queries_cancelled += 1
+                self.stats.inc("queries_cancelled")
                 token.cancel("client cancel")
             # Cancelling an unknown/finished id is a no-op, not an
             # error: the RESULT may simply have crossed the CANCEL.
+        elif frame_type == protocol.STATS:
+            # Answered inline on the loop: the per-server counters plus
+            # a snapshot of the process-wide registry, echoing the id.
+            self.stats.inc("stats_frames_sent")
+            self._send_frame(
+                conn,
+                stats_frame(
+                    frame.get("id"),
+                    server=self.stats.to_dict(),
+                    metrics=get_registry().snapshot(),
+                    inflight=self.inflight_queries,
+                ),
+            )
         else:
             # HELLO/PROGRESS/RESULT/ERROR are server-to-client only.
             self._send_error(
@@ -443,17 +527,16 @@ class GSTServer:
             outcome: QueryOutcome = await asyncio.wrap_future(future)
         except Exception as exc:  # bad budget values, shutdown races, ...
             conn.inflight.pop(query_id, None)
+            self._update_inflight()
             self._send_error(conn, query_id, "bad_request", str(exc))
             return
         conn.inflight.pop(query_id, None)
+        self._update_inflight()
         if outcome.ok:
             status = "cancelled" if outcome.trace.cancelled else "ok"
-            self.stats.results_sent += 1
-            conn.send(
-                encode_frame(
-                    result_frame(query_id, outcome.result, status=status),
-                    max_frame_bytes=self.max_frame_bytes,
-                )
+            self.stats.inc("results_sent")
+            self._send_frame(
+                conn, result_frame(query_id, outcome.result, status=status)
             )
         else:
             self._send_error(
@@ -492,25 +575,20 @@ class GSTServer:
     # ------------------------------------------------------------------
     # Frame senders (event-loop thread only)
     # ------------------------------------------------------------------
+    def _send_frame(self, conn: _Connection, frame: Dict[str, Any]) -> None:
+        """Encode, count by type, and queue one outbound frame."""
+        self._frames.labels(direction="sent", type=frame["type"]).inc()
+        conn.send(encode_frame(frame, max_frame_bytes=self.max_frame_bytes))
+
     def _send_progress(self, conn: _Connection, query_id, point) -> None:
         if conn.closing:
             return
-        self.stats.progress_frames_sent += 1
-        conn.send(
-            encode_frame(
-                progress_frame(query_id, point),
-                max_frame_bytes=self.max_frame_bytes,
-            )
-        )
+        self.stats.inc("progress_frames_sent")
+        self._send_frame(conn, progress_frame(query_id, point))
 
     def _send_error(self, conn, query_id, code, message, details=None) -> None:
-        self.stats.errors_sent += 1
+        self.stats.inc("errors_sent")
         details = {
             k: v for k, v in (details or {}).items() if v is not None
         }
-        conn.send(
-            encode_frame(
-                error_frame(query_id, code, message, **details),
-                max_frame_bytes=self.max_frame_bytes,
-            )
-        )
+        self._send_frame(conn, error_frame(query_id, code, message, **details))

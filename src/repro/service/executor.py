@@ -56,6 +56,7 @@ from typing import (
 
 from ..core.budget import Budget, CancellationToken
 from ..graph.graph import Graph
+from ..obs import instruments
 from .index import GraphIndex, QueryOutcome
 from .resilience import (
     AdmissionController,
@@ -183,7 +184,7 @@ class QueryExecutor:
             effective = (effective or Budget()).with_cancellation(cancel_token)
         if on_progress is not None:
             solver_kwargs = dict(solver_kwargs, on_progress=on_progress)
-        return self._pool.submit(
+        future = self._pool.submit(
             self._run_one,
             tuple(labels),
             algorithm or self.algorithm,
@@ -191,6 +192,13 @@ class QueryExecutor:
             query_id,
             solver_kwargs,
         )
+        # Queue-depth gauge: up on submit, down when the future settles
+        # (including cancellation by shutdown(wait=False), which is why
+        # the decrement rides the done-callback, not _run_one).
+        depth = instruments.executor_queue_depth()
+        depth.inc()
+        future.add_done_callback(lambda _f: depth.dec())
+        return future
 
     def run_batch(
         self,
@@ -322,13 +330,14 @@ class QueryExecutor:
                     **solver_kwargs,
                 )
         if self.trace_sink is not None:
-            try:
-                self.trace_sink.write(outcome.trace)
-            except ValueError:
-                # shutdown(wait=False) may close an owned sink while a
-                # straggler query is still finishing; losing that one
-                # trace line is the documented cost of not waiting.
-                pass
+            # A drain (or shutdown(wait=False)) may close the sink while
+            # a straggler query is still finishing; the late line is
+            # dropped and counted, never raised out of the worker.
+            self.trace_sink.write_or_drop(outcome.trace)
+        # The single registry recording point: every executor query —
+        # thread or process isolation, cache hit or real solve — folds
+        # its trace in here, so registry totals equal sums over traces.
+        instruments.record_query_trace(outcome.trace)
         return outcome
 
     def _execute_callable(self):

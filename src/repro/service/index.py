@@ -45,6 +45,7 @@ from ..errors import (
 )
 from ..graph.components import component_ids as _component_ids
 from ..graph.graph import Graph
+from ..obs import instruments
 from .telemetry import QueryTrace
 
 __all__ = ["GraphIndex", "QueryOutcome", "DEFAULT_MAX_CACHED_LABELS"]
@@ -102,6 +103,7 @@ class GraphIndex:
         freeze_started = time.perf_counter()
         self.snapshot = graph.freeze()
         self.snapshot_build_seconds = time.perf_counter() - freeze_started
+        instruments.record_snapshot_build(self.snapshot_build_seconds)
         if cache is not None:
             if cache.graph is not graph:
                 raise ValueError(
@@ -180,6 +182,7 @@ class GraphIndex:
             self.warm_loaded = loaded
             if result_cache is not None:
                 self.result_cache = result_cache
+        instruments.record_warm_loads(loaded)
         return loaded
 
     @classmethod

@@ -47,6 +47,7 @@ from ..errors import (
     ReproError,
     WorkerCrashedError,
 )
+from ..obs import instruments
 from .telemetry import QueryTrace
 
 __all__ = [
@@ -476,13 +477,20 @@ class BreakerBoard:
             return breaker
 
     def allow(self, algorithm: str) -> bool:
-        return self.breaker(algorithm).allow()
+        breaker = self.breaker(algorithm)
+        allowed = breaker.allow()
+        instruments.set_breaker_state(algorithm, breaker.state)
+        return allowed
 
     def record_success(self, algorithm: str) -> None:
-        self.breaker(algorithm).record_success()
+        breaker = self.breaker(algorithm)
+        breaker.record_success()
+        instruments.set_breaker_state(algorithm, breaker.state)
 
     def record_failure(self, algorithm: str) -> None:
-        self.breaker(algorithm).record_failure()
+        breaker = self.breaker(algorithm)
+        breaker.record_failure()
+        instruments.set_breaker_state(algorithm, breaker.state)
 
     def snapshot(self) -> Dict[str, dict]:
         with self._lock:

@@ -20,6 +20,8 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict, IO, List, Optional, Tuple, Union
 
+from ..obs.instruments import record_trace_dropped
+
 __all__ = ["QueryTrace", "TraceSink", "STAGES"]
 
 INF = float("inf")
@@ -179,6 +181,7 @@ class TraceSink:
     def __init__(self, destination: Union[str, IO[str]]) -> None:
         self._lock = threading.Lock()
         self.count = 0
+        self.dropped = 0
         self._closed = False
         if isinstance(destination, str):
             self.path: Optional[str] = destination
@@ -202,6 +205,24 @@ class TraceSink:
             self._file.write(line + "\n")
             self._file.flush()
             self.count += 1
+
+    def write_or_drop(self, trace: QueryTrace) -> bool:
+        """``write``, but a closed sink drops the line instead of raising.
+
+        This is the straggler-during-drain path: a query that finishes
+        after the server closed the sink must not turn its successful
+        answer into a worker error.  The dropped line is counted here
+        and in the registry's ``gst_traces_dropped_total`` so the loss
+        is visible instead of silent.
+        """
+        try:
+            self.write(trace)
+            return True
+        except ValueError:
+            with self._lock:
+                self.dropped += 1
+            record_trace_dropped()
+            return False
 
     def flush(self) -> None:
         """Force buffered lines to the destination (no-op once closed)."""

@@ -16,10 +16,15 @@ entries share one key space; algorithm tiers never cross-serve (a
 than a ``pruneddp++`` one in every benchmark, and tiers may diverge in
 tie-breaking).
 
-Eviction is LRU bounded by ``max_entries`` plus optional wall-clock
-TTL; both the clock and all counters are injectable/observable for
-tests and telemetry.  Persistence uses the store's CRC-framed format —
-see :meth:`ResultCache.save_to` / :meth:`ResultCache.load_from`.
+Eviction is LRU bounded by ``max_entries`` plus an optional TTL.  The
+TTL is measured on a **monotonic** clock (``time.monotonic``) so an
+NTP step can neither mass-expire nor immortalize live entries; the
+wall clock (``time.time``) is used only for the absolute ``created``
+timestamps carried by *persisted* records, where a cross-process
+monotonic reading would be meaningless.  Both clocks and all counters
+are injectable/observable for tests and telemetry.  Persistence uses
+the store's CRC-framed format — see :meth:`ResultCache.save_to` /
+:meth:`ResultCache.load_from`.
 """
 
 from __future__ import annotations
@@ -33,6 +38,7 @@ from typing import BinaryIO, Callable, FrozenSet, Hashable, Iterable, List, Opti
 from ..core.result import GSTResult, SearchStats
 from ..core.tree import SteinerTree
 from ..errors import StoreCorruptError
+from ..obs.instruments import record_result_cache_event
 from .format import (
     iter_records,
     pack_json,
@@ -73,6 +79,10 @@ class CachedAnswer:
     tree_nodes: Tuple[int, ...]
     tree_edges: Tuple[Tuple[int, int, float], ...]
     created: float
+    # Monotonic admission stamp used for in-memory TTL decisions.  Not
+    # persisted (monotonic readings are process-local); ``load_from``
+    # reconstructs it from the record's wall-clock age.
+    stamp: float = 0.0
 
     def serves(self, requested_epsilon: float) -> bool:
         """Whether this answer's proven gap satisfies ``ε'`` requests."""
@@ -146,7 +156,8 @@ class ResultCache:
         *,
         max_entries: int = 1024,
         ttl_seconds: Optional[float] = None,
-        clock: Callable[[], float] = time.time,
+        clock: Optional[Callable[[], float]] = None,
+        wall_clock: Optional[Callable[[], float]] = None,
     ) -> None:
         if max_entries <= 0:
             raise ValueError("max_entries must be positive")
@@ -154,7 +165,14 @@ class ResultCache:
             raise ValueError("ttl_seconds must be positive (or None)")
         self.max_entries = max_entries
         self.ttl_seconds = ttl_seconds
-        self._clock = clock
+        # TTL ages on the monotonic clock; the wall clock only stamps
+        # the ``created`` field persisted in records.  A test injecting
+        # a single ``clock`` (the historical signature) gets it for
+        # both roles, so deterministic FakeClock tests keep working.
+        if clock is not None and wall_clock is None:
+            wall_clock = clock
+        self._clock = clock if clock is not None else time.monotonic
+        self._wall = wall_clock if wall_clock is not None else time.time
         self._entries: "OrderedDict[Tuple[FrozenSet[str], str], CachedAnswer]" = (
             OrderedDict()
         )
@@ -183,12 +201,15 @@ class ResultCache:
             if entry is not None and self._expired(entry):
                 del self._entries[key]
                 self.expirations += 1
+                record_result_cache_event("expired")
                 entry = None
             if entry is None or not entry.serves(epsilon):
                 self.misses += 1
+                record_result_cache_event("miss")
                 return None
             self._entries.move_to_end(key)
             self.hits += 1
+            record_result_cache_event("hit")
             return entry
 
     def put(
@@ -218,7 +239,8 @@ class ResultCache:
             epsilon=epsilon,
             tree_nodes=tuple(result.tree.nodes),
             tree_edges=tuple(result.tree.edges),
-            created=self._clock(),
+            created=self._wall(),
+            stamp=self._clock(),
         )
         key = result_key(labels, algorithm)
         with self._lock:
@@ -232,9 +254,11 @@ class ResultCache:
                 return existing
             self._entries[key] = entry
             self._entries.move_to_end(key)
+            record_result_cache_event("insertion")
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
                 self.evictions += 1
+                record_result_cache_event("eviction")
         return entry
 
     def invalidate(
@@ -252,12 +276,14 @@ class ResultCache:
                 return False
             del self._entries[key]
             self.evictions += 1
+            record_result_cache_event("eviction")
             return True
 
     def _expired(self, entry: CachedAnswer) -> bool:
+        """TTL check on the monotonic admission stamp (NTP-immune)."""
         return (
             self.ttl_seconds is not None
-            and self._clock() - entry.created > self.ttl_seconds
+            and self._clock() - entry.stamp > self.ttl_seconds
         )
 
     # ------------------------------------------------------------------
@@ -314,17 +340,26 @@ class ResultCache:
             entry = CachedAnswer.from_record(
                 unpack_json(payload, what=what), what=what
             )
-            if self._expired(entry):
+            # Persisted records only carry wall-clock ``created``; age
+            # them once against the wall clock at load, then hand the
+            # remaining TTL to the monotonic stamp so a later NTP step
+            # cannot disturb them.
+            age = self._wall() - entry.created
+            if self.ttl_seconds is not None and age > self.ttl_seconds:
                 self.expirations += 1
+                record_result_cache_event("expired")
                 continue
+            entry.stamp = self._clock() - max(0.0, age)
             key = result_key(entry.labels, entry.algorithm)
             with self._lock:
                 existing = self._entries.get(key)
                 if existing is not None and existing.epsilon <= entry.epsilon:
                     continue
                 self._entries[key] = entry
+                record_result_cache_event("insertion")
                 while len(self._entries) > self.max_entries:
                     self._entries.popitem(last=False)
                     self.evictions += 1
+                    record_result_cache_event("eviction")
             count += 1
         return count

@@ -321,6 +321,106 @@ class TestDrain:
         assert harness.server.draining
 
 
+class TestStatsAndMetrics:
+    def test_stats_frame_matches_wire_observations(self, graph):
+        """The no-drift criterion on the wire: the STATS frame's server
+        counters and registry snapshot equal the frames this client
+        actually observed — counted independently on the client side."""
+        from repro.obs import instruments
+
+        frames_counter = instruments.server_frames()
+        baselines = {
+            key: frames_counter.labels(direction=key[0], type=key[1]).value
+            for key in (
+                ("sent", "result"),
+                ("sent", "progress"),
+                ("received", "query"),
+            )
+        }
+
+        queries = [["q0", "q1"], ["q2", "q3"], ["q0", "q4"]]
+        with ServerHarness(graph, algorithm="basic") as harness:
+            with GSTClient("127.0.0.1", harness.port) as client:
+                observed_progress = observed_results = 0
+                for labels in queries:
+                    for update in client.solve_stream(labels):
+                        if update.final:
+                            observed_results += 1
+                        else:
+                            observed_progress += 1
+                stats = client.stats()
+
+        assert stats["type"] == "stats"
+        server = stats["server"]
+        assert server["queries_received"] == len(queries)
+        assert server["results_sent"] == observed_results == len(queries)
+        assert server["progress_frames_sent"] == observed_progress
+        assert observed_progress >= 2
+        assert server["stats_frames_sent"] == 1
+        assert stats["inflight"] == 0
+
+        # The registry snapshot carried by the frame tells the same
+        # story as the client-side tally — exactly, not approximately.
+        samples = {
+            (s["labels"]["direction"], s["labels"]["type"]): s["value"]
+            for s in stats["metrics"]["gst_server_frames_total"]["samples"]
+        }
+        deltas = {
+            key: samples[key] - baselines[key] for key in baselines
+        }
+        assert deltas[("sent", "result")] == observed_results
+        assert deltas[("sent", "progress")] == observed_progress
+        assert deltas[("received", "query")] == len(queries)
+
+    def test_server_stats_view_never_disagrees_with_registry(self, graph):
+        """ServerStats is a thin view over gst_server_events_total, so
+        the two can never drift: whatever the attribute reports is the
+        registry child's delta since server construction."""
+        from repro.obs import instruments
+
+        events = instruments.server_events()
+        with ServerHarness(graph, algorithm="basic") as harness:
+            base = events.labels(event="results_sent").value
+            with GSTClient("127.0.0.1", harness.port) as client:
+                client.solve(["q0", "q1"])
+            assert harness.server.stats.results_sent == 1
+            assert events.labels(event="results_sent").value - base == 1
+
+    def test_metrics_http_endpoint_serves_valid_exposition(self, graph):
+        import urllib.request
+
+        from repro.obs import parse_exposition
+
+        with ServerHarness(
+            graph, algorithm="basic", metrics_port=0
+        ) as harness:
+            assert harness.server.metrics_port not in (None, 0)
+            with GSTClient("127.0.0.1", harness.port) as client:
+                client.solve(["q0", "q1"])
+            url = f"http://127.0.0.1:{harness.server.metrics_port}/metrics"
+            with urllib.request.urlopen(url, timeout=10) as response:
+                assert response.status == 200
+                assert response.headers["Content-Type"].startswith(
+                    "text/plain"
+                )
+                text = response.read().decode("utf-8")
+        families = parse_exposition(text)  # must be valid Prometheus text
+        assert families["gst_queries_total"]["type"] == "counter"
+        total = sum(v for _, _, v in families["gst_queries_total"]["samples"])
+        assert total >= 1
+        assert "gst_server_events_total" in families
+
+    def test_metrics_endpoint_unknown_path_is_404(self, graph):
+        import urllib.error
+        import urllib.request
+
+        with ServerHarness(graph, metrics_port=0) as harness:
+            url = f"http://127.0.0.1:{harness.server.metrics_port}/nope"
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(url, timeout=10)
+            assert excinfo.value.code == 404
+
+
 class TestConstruction:
     def test_process_isolation_rejected(self, graph):
         with pytest.raises(ValueError, match="thread"):

@@ -247,6 +247,68 @@ class TestKwargsReachEngine:
         assert engine_spy[0]["time_limit"] <= 10.0
 
 
+class TestExpiredDeadlineRegression:
+    """``remaining()`` must clamp at 0.0 — never report negative time.
+
+    The historical bug: an already-passed deadline made ``remaining()``
+    return a negative number, which admission control then multiplied
+    into a negative allowance and reported in budgets' ``to_dict``.
+    """
+
+    def _expired_budget(self) -> Budget:
+        return Budget().replace(deadline=time.perf_counter() - 5.0)
+
+    def test_remaining_is_clamped_at_zero(self):
+        budget = self._expired_budget()
+        assert budget.remaining() == 0.0
+        assert budget.expired()
+
+    def test_to_dict_never_reports_negative_remaining(self):
+        record = self._expired_budget().to_dict()
+        assert record["deadline_remaining"] == 0.0
+
+    def test_expired_deadline_entering_admission(self, graph):
+        from repro.service import AdmissionPolicy
+        from repro.service.resilience import AdmissionController
+
+        budget = self._expired_budget()
+        controller = AdmissionController(
+            GraphIndex(graph), AdmissionPolicy(action="clamp")
+        )
+        decision = controller.assess(["q0", "q1"], budget)
+        # No time left: the query cannot be admitted unclamped, and the
+        # clamped budget must carry a *zero* time limit, not a negative
+        # one (Budget would reject it) nor a negative allowance string.
+        assert decision.action == "clamp"
+        assert decision.budget is not None
+        assert decision.budget.time_limit == 0.0
+        assert "-" not in (decision.reason or "").split("allowance")[-1]
+
+    def test_expired_deadline_rejecting_admission(self, graph):
+        from repro.errors import QueryRejectedError
+        from repro.service import AdmissionPolicy
+        from repro.service.resilience import AdmissionController
+
+        controller = AdmissionController(
+            GraphIndex(graph), AdmissionPolicy(action="reject")
+        )
+        with pytest.raises(QueryRejectedError):
+            controller.admit(["q0", "q1"], self._expired_budget())
+
+    def test_expired_deadline_entering_engine(self, graph, engine_spy):
+        budget = self._expired_budget()
+        # The engine-facing kwargs carry a zero (not negative) limit.
+        assert budget.engine_kwargs()["time_limit"] == 0.0
+        PrunedDPPlusPlusSolver(graph, ["q0", "q1"], budget=budget).solve()
+        assert engine_spy[0]["time_limit"] == 0.0
+
+    def test_expired_deadline_fail_fasts_at_index(self, graph):
+        from repro.errors import LimitExceededError
+
+        with pytest.raises(LimitExceededError):
+            GraphIndex(graph).solve(["q0", "q1"], budget=self._expired_budget())
+
+
 class TestDPBFBudget:
     """DPBF has no shared engine; its budget is honored internally."""
 

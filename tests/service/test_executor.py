@@ -316,3 +316,33 @@ class TestSinkOwnership:
             with QueryExecutor(index, max_workers=1, trace_sink=sink) as executor:
                 executor.run_batch([["q2", "q3"]])
             assert sink.count == 2
+
+    def test_straggler_after_sink_close_drops_not_raises(
+        self, index, tmp_path
+    ):
+        """A query finishing after the sink closed (a drain straggler)
+        keeps its successful answer; the lost trace line is *counted*,
+        in the sink and in the registry, instead of raised.
+
+        Regression: the write-after-close ``ValueError`` used to
+        propagate out of the worker and turn the answer into an error.
+        """
+        from repro.obs import instruments
+
+        dropped_counter = instruments.traces_dropped()
+        dropped_before = dropped_counter.value()
+        path = str(tmp_path / "drain.jsonl")
+        sink = TraceSink(path)
+        with QueryExecutor(index, max_workers=1, trace_sink=sink) as executor:
+            executor.run_batch([["q0", "q1"]])
+            # The drain closes the sink while the executor still lives;
+            # the next query to finish is the straggler.
+            sink.close()
+            outcome = executor.submit(["q1", "q2"]).result()
+        assert outcome.ok
+        assert outcome.trace.error is None
+        assert sink.count == 1
+        assert sink.dropped == 1
+        assert dropped_counter.value() - dropped_before == 1
+        with open(path, encoding="utf-8") as handle:
+            assert len(handle.readlines()) == 1

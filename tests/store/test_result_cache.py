@@ -153,6 +153,72 @@ class TestEvictionAndTTL:
             ResultCache(ttl_seconds=0.0)
 
 
+class TestMonotonicTTLRegression:
+    """In-memory TTL must age on the monotonic clock, not wall time.
+
+    The historical bug: TTL expiry compared ``time.time()`` against the
+    entry's wall-clock ``created`` stamp, so an NTP step forward
+    mass-expired every live entry (and a step backward immortalized
+    them).  Wall time is only legitimate in *persisted* records.
+    """
+
+    def test_wall_clock_jump_does_not_expire_live_entries(
+        self, exact_result
+    ):
+        # Inject the jumping clock through the wall-clock seam.  On the
+        # buggy version ``clock`` *was* the wall clock and drove TTL, so
+        # the jump mass-expired the entry; now TTL rides the (real,
+        # unjumped) monotonic clock and the entry must survive.
+        wall = FakeClock(now=1_000_000.0)
+        try:
+            cache = ResultCache(ttl_seconds=60.0, wall_clock=wall)
+        except TypeError:  # single-clock signature: wall drove TTL too
+            cache = ResultCache(ttl_seconds=60.0, clock=wall)
+        cache.put(["q0", "q1"], "pruneddp++", exact_result)
+        wall.now += 3600.0  # NTP steps the wall clock forward one hour
+        assert cache.lookup(["q0", "q1"], "pruneddp++", 0.0) is not None
+        assert cache.counters()["expirations"] == 0
+
+    def test_backward_wall_jump_does_not_immortalize(self, exact_result):
+        mono = FakeClock(now=50.0)
+        wall = FakeClock(now=1_000_000.0)
+        cache = ResultCache(ttl_seconds=60.0, clock=mono, wall_clock=wall)
+        cache.put(["q0", "q1"], "pruneddp++", exact_result)
+        wall.now -= 3600.0  # NTP steps the wall clock *backward*
+        mono.now += 61.0    # ... but 61 real seconds elapse
+        assert cache.lookup(["q0", "q1"], "pruneddp++", 0.0) is None
+        assert cache.counters()["expirations"] == 1
+
+    def test_persisted_created_is_wall_clock(self, exact_result):
+        mono = FakeClock(now=7.0)
+        wall = FakeClock(now=1_000_000.0)
+        cache = ResultCache(clock=mono, wall_clock=wall)
+        entry = cache.put(["q0", "q1"], "pruneddp++", exact_result)
+        assert entry.created == 1_000_000.0   # absolute, persistable
+        assert entry.stamp == 7.0             # monotonic, process-local
+        assert "stamp" not in entry.to_record()
+
+    def test_load_ages_against_wall_then_ttls_on_monotonic(
+        self, exact_result
+    ):
+        saver = ResultCache(wall_clock=FakeClock(now=1000.0))
+        saver.put(["q0", "q1"], "pruneddp++", exact_result)
+        buf = io.BytesIO()
+        saver.save_to(buf)
+        buf.seek(0)
+        # Loaded 30 wall-seconds after creation with a 60s TTL: the
+        # entry has 30s of monotonic life left, NTP-immune thereafter.
+        mono = FakeClock(now=500.0)
+        wall = FakeClock(now=1030.0)
+        loader = ResultCache(ttl_seconds=60.0, clock=mono, wall_clock=wall)
+        assert loader.load_from(buf) == 1
+        wall.now += 10_000.0  # wall jump after load must not matter
+        mono.now += 29.0
+        assert loader.lookup(["q0", "q1"], "pruneddp++", 0.0) is not None
+        mono.now += 2.0
+        assert loader.lookup(["q0", "q1"], "pruneddp++", 0.0) is None
+
+
 class TestPersistence:
     def test_round_trip(self, graph, exact_result):
         cache = ResultCache()
