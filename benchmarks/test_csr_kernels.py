@@ -59,7 +59,8 @@ def _best_of(repeats, fn):
     return best
 
 
-def test_per_label_preprocessing_speedup(record_figure):
+def run_preprocessing_comparison():
+    """Parity-checked per-label Dijkstra timings (legacy vs CSR/Dial)."""
     legacy_graph, frozen_graph = _dblp_pair()
     csr = frozen_graph.freeze()
     assert csr.integer_weights, "DBLP-like weights should take the Dial lane"
@@ -86,7 +87,17 @@ def test_per_label_preprocessing_speedup(record_figure):
         REPEATS,
         lambda: [multi_source_dijkstra_csr(csr, members) for members in groups],
     )
-    speedup = legacy_time / csr_time
+    return {
+        "legacy_seconds": legacy_time,
+        "csr_seconds": csr_time,
+        "speedup": legacy_time / csr_time,
+    }
+
+
+def test_per_label_preprocessing_speedup(record_figure):
+    rows = run_preprocessing_comparison()
+    legacy_time, csr_time = rows["legacy_seconds"], rows["csr_seconds"]
+    speedup = rows["speedup"]
     record_figure(
         "csr_kernels_preprocessing",
         "per-label preprocessing (one multi-source Dijkstra per label)\n"
@@ -99,7 +110,8 @@ def test_per_label_preprocessing_speedup(record_figure):
     )
 
 
-def test_end_to_end_pruneddp_speedup(record_figure):
+def run_end_to_end_comparison():
+    """Parity-checked full pruneddp++ solve timings (legacy vs CSR)."""
     legacy_graph, frozen_graph = _dblp_pair()
 
     def solve(graph):
@@ -124,7 +136,17 @@ def test_end_to_end_pruneddp_speedup(record_figure):
 
     legacy_time = _best_of(REPEATS, legacy_batch)
     csr_time = _best_of(REPEATS, csr_batch)
-    speedup = legacy_time / csr_time
+    return {
+        "legacy_seconds": legacy_time,
+        "csr_seconds": csr_time,
+        "speedup": legacy_time / csr_time,
+    }
+
+
+def test_end_to_end_pruneddp_speedup(record_figure):
+    rows = run_end_to_end_comparison()
+    legacy_time, csr_time = rows["legacy_seconds"], rows["csr_seconds"]
+    speedup = rows["speedup"]
     record_figure(
         "csr_kernels_end_to_end",
         f"end-to-end pruneddp++ ({SOLVES_PER_REP} solves/rep, "

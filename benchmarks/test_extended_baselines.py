@@ -15,7 +15,6 @@ from __future__ import annotations
 import pytest
 
 from repro.bench import figures
-from repro.bench.runner import ALL_ALGORITHMS
 
 
 def regenerate():

@@ -14,7 +14,7 @@ top-r answers per the paper's remark.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 from ..core.result import GSTResult
 from ..core.topr import exact_top_r_trees, top_r_trees

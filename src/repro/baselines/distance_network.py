@@ -20,7 +20,7 @@ with the weakest answers.
 from __future__ import annotations
 
 import time
-from typing import Hashable, Iterable, List, Optional, Union
+from typing import Hashable, Iterable, List, Union
 
 from ..core.context import QueryContext
 from ..core.feasible import prune_redundant_leaves, steiner_tree_from_edges

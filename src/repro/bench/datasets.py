@@ -17,7 +17,7 @@ Datasets are built lazily and memoized per ``(name, scale)``.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from ..graph.graph import Graph
 from ..graph import generators

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import math
 import tracemalloc
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, TypeVar
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
 __all__ = [
     "mean",

@@ -137,10 +137,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "successful answers are persisted back "
                             "(falls back to cold serving if unusable)")
     batch.add_argument("--isolation", default="thread",
-                       choices=["thread", "process"],
-                       help="run each solve in a worker thread (default) or "
-                            "a supervised subprocess that contains hangs, "
-                            "OOM kills, and hard crashes to one query")
+                       choices=["thread", "process", "fleet"],
+                       help="run each solve in a worker thread (default), a "
+                            "supervised subprocess forked per query "
+                            "(process), or a persistent pre-forked worker "
+                            "attached to a shared-memory snapshot (fleet: "
+                            "process isolation plus multi-core throughput)")
+    batch.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="with --isolation=fleet: persistent worker "
+                            "processes to pre-fork (default: up to 4)")
     batch.add_argument("--checkpoint-dir", default=None, metavar="DIR",
                        help="write engine checkpoints here; interrupted or "
                             "crashed queries resume from their latest "
@@ -180,6 +185,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="default per-query cap on popped DP states")
     serve.add_argument("--max-workers", type=int, default=None,
                        help="executor thread count (default: cpu-bound)")
+    serve.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="serve from a shared-memory worker fleet of N "
+                            "persistent processes (isolation='fleet'): true "
+                            "multi-core throughput, no PROGRESS streaming")
     serve.add_argument("--max-inflight", type=int, default=4,
                        help="concurrent queries allowed per connection")
     serve.add_argument("--admission", type=int, default=None, metavar="STATES",
@@ -587,6 +596,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             isolation=args.isolation,
             checkpoint_dir=args.checkpoint_dir,
             worker_policy=worker_policy,
+            workers=args.workers if args.isolation == "fleet" else None,
         ) as executor:
             outcomes = executor.run_batch(
                 queries, deadline=args.deadline, cancel_token=token
@@ -703,6 +713,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         else None
     )
 
+    executor_kwargs: dict = {
+        "max_workers": args.max_workers,
+        "trace_sink": args.traces,
+        "admission": admission,
+        "checkpoint_dir": args.checkpoint_dir,
+    }
+    if args.workers is not None:
+        executor_kwargs["isolation"] = "fleet"
+        executor_kwargs["workers"] = args.workers
+
     async def _run() -> int:
         server = GSTServer(
             index,
@@ -712,17 +732,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             budget=budget,
             max_inflight=args.max_inflight,
             drain_grace=args.drain_grace,
-            max_workers=args.max_workers,
-            trace_sink=args.traces,
-            admission=admission,
-            checkpoint_dir=args.checkpoint_dir,
             metrics_port=args.metrics_port,
+            **executor_kwargs,
         )
         await server.start()
+        mode = (
+            f"fleet of {args.workers} workers"
+            if args.workers is not None
+            else "in-process threads"
+        )
         print(
             f"serving {args.graph} ({index.num_nodes} nodes, "
             f"{index.num_edges} edges) on {server.host}:{server.port} "
-            f"[{args.algorithm}]",
+            f"[{args.algorithm}, {mode}]",
             flush=True,
         )
         if server.metrics_port is not None:

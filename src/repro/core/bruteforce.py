@@ -16,13 +16,11 @@ exactly the regime the hypothesis-based cross-checks run in.
 
 from __future__ import annotations
 
-from itertools import combinations
 from typing import Hashable, Iterable, List, Optional, Tuple
 
 from ..errors import InfeasibleQueryError
 from ..graph.graph import Graph
 from ..graph.mst import minimum_spanning_forest
-from ..graph.union_find import UnionFind
 from .query import GSTQuery
 from .tree import SteinerTree
 

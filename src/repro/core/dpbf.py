@@ -18,7 +18,7 @@ separate code.
 from __future__ import annotations
 
 import time
-from typing import Dict, Hashable, Iterable, List, Optional, Tuple, Union
+from typing import Dict, Hashable, Iterable, Optional, Tuple
 
 from ..graph.graph import Graph
 from ..graph.heap import IndexedHeap

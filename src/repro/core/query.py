@@ -7,7 +7,7 @@ object owns the label→index mapping used throughout a solve.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, List, Sequence, Tuple
+from typing import Hashable, Iterable, List, Tuple
 
 from ..errors import InfeasibleQueryError, QueryError
 from ..graph.graph import Graph

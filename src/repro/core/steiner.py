@@ -10,13 +10,12 @@ a Steiner-tree solver.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import List, Sequence
 
 from ..errors import QueryError
 from ..graph.graph import Graph
 from .result import GSTResult
 from .solver import solve_gst
-from .tree import SteinerTree
 
 __all__ = ["steiner_tree", "steiner_tree_weight"]
 

@@ -8,7 +8,7 @@ search / team formation applications render back into domain objects.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Hashable, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Set, Tuple
 
 from ..errors import GraphError
 from ..graph.graph import Graph

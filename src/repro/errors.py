@@ -29,6 +29,9 @@ __all__ = [
     "WorkerCrashedError",
     "ProtocolError",
     "RemoteQueryError",
+    "SharedMemoryGraphError",
+    "ShmAttachError",
+    "ShmLayoutError",
     "StoreError",
     "StoreCorruptError",
     "StoreVersionError",
@@ -195,6 +198,36 @@ class RemoteQueryError(ReproError):
         super().__init__(message)
         self.code = code
         self.details = details or {}
+
+
+class SharedMemoryGraphError(ReproError):
+    """A shared-memory CSR segment (:mod:`repro.graph.shm`) failed.
+
+    The umbrella type for the fleet's shared-graph transport.  Like the
+    store hierarchy, shared segments fail *closed*: a worker that
+    cannot attach (or attaches something malformed) sees a typed error
+    it can surface as a crashed query — never a ``BufferError``, a bare
+    ``FileNotFoundError``, or a read of someone else's memory.
+    """
+
+
+class ShmAttachError(SharedMemoryGraphError):
+    """The named shared-memory segment cannot be attached.
+
+    Raised when the segment was never created, was already unlinked by
+    its owner (e.g. a fleet whose owner died or shut down mid-respawn),
+    or is too small to even hold the header.
+    """
+
+
+class ShmLayoutError(SharedMemoryGraphError):
+    """The attached segment is not a valid CSR export.
+
+    Bad magic, an unsupported layout version, a truncated metadata
+    record, or buffer offsets pointing outside the segment.  The
+    segment belongs to someone else or was torn; it is never read
+    further.
+    """
 
 
 class StoreError(ReproError):

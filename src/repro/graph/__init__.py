@@ -1,6 +1,8 @@
 """Graph substrate: storage, shortest paths, MST, generators, I/O."""
 
 from .graph import Graph
+from .csr import CSRGraph
+from .shm import SharedCSR, share_csr
 from .digraph import DiGraph
 from .heap import IndexedHeap
 from .union_find import UnionFind
@@ -25,6 +27,9 @@ from .io import save_graph, load_graph
 
 __all__ = [
     "Graph",
+    "CSRGraph",
+    "SharedCSR",
+    "share_csr",
     "DiGraph",
     "IndexedHeap",
     "UnionFind",

@@ -11,7 +11,7 @@ the relevant component.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from .graph import Graph
 

@@ -34,7 +34,7 @@ from __future__ import annotations
 import hashlib
 import time
 from array import array
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Dict, Hashable, List, Optional, Tuple
 
 __all__ = ["CSRGraph", "MAX_DIAL_WEIGHT"]
 
@@ -141,6 +141,46 @@ class CSRGraph:
             label_members=label_members,
             build_seconds=time.perf_counter() - started,
         )
+
+    # ------------------------------------------------------------------
+    def to_shared(self, *, name: Optional[str] = None):
+        """Export this snapshot into a shared-memory segment.
+
+        Returns the owner-side :class:`~repro.graph.shm.SharedCSR`
+        handle; worker processes attach by ``handle.name`` via
+        :meth:`from_shared`.  The handle must be :meth:`closed
+        <repro.graph.shm.SharedCSR.close>` when serving ends — the
+        segment is refcounted, so the unlink happens once the owner
+        *and* every attached worker have detached.
+        """
+        from .shm import SharedCSR
+
+        return SharedCSR.create(self, name=name)
+
+    @classmethod
+    def from_shared(
+        cls, name: str, *, expect_fingerprint: Optional[str] = None
+    ):
+        """Attach a shared segment and materialize its snapshot.
+
+        Returns ``(csr, handle)``: the :class:`CSRGraph` whose flat
+        buffers are zero-copy views into the mapped segment, and the
+        :class:`~repro.graph.shm.SharedCSR` handle keeping the mapping
+        (and the segment's refcount) alive — close it only after the
+        returned graph is no longer used.  The attach is fingerprint
+        verified; pass ``expect_fingerprint`` to additionally pin the
+        exact snapshot identity (raises
+        :class:`~repro.errors.StoreFingerprintError` on any mismatch).
+        """
+        from .shm import SharedCSR
+
+        handle = SharedCSR.attach(name)
+        try:
+            csr = handle.load(expect_fingerprint=expect_fingerprint)
+        except Exception:
+            handle.close()
+            raise
+        return csr, handle
 
     # ------------------------------------------------------------------
     def members(self, label: Hashable) -> Tuple[int, ...]:

@@ -323,6 +323,49 @@ class Graph:
     # ------------------------------------------------------------------
     # Immutable CSR snapshot
     # ------------------------------------------------------------------
+    @classmethod
+    def from_csr(cls, csr) -> "Graph":
+        """Rebuild a mutable graph from a CSR snapshot, adopting it.
+
+        The inverse of :meth:`freeze`, used by fleet workers that
+        receive the graph through shared memory
+        (:mod:`repro.graph.shm`) rather than by pickling.  The rebuilt
+        graph reproduces the donor's internal state *exactly* —
+        adjacency rows in the donor's insertion order and label groups
+        in the donor's membership order — and ``csr`` itself is
+        installed as the cached snapshot, so ``freeze()`` returns the
+        shared (fingerprint-identical) buffers instead of rebuilding:
+        checkpoint paths, store lookups, and answers all match the
+        owner process bit-for-bit.  External node names are not part of
+        a snapshot and come back empty.
+        """
+        graph = cls()
+        n = csr.num_nodes
+        label_sets: List[set] = [set() for _ in range(n)]
+        graph._groups = {
+            label: list(csr.members(label)) for label in csr.all_labels()
+        }
+        for label, members in graph._groups.items():
+            for node in members:
+                label_sets[node].add(label)
+        graph._adj = [list(csr.adjacency[u]) for u in range(n)]
+        graph._labels = [frozenset(s) for s in label_sets]
+        graph._names = [None] * n
+        total = 0.0
+        min_w = float("inf")
+        for u, row in enumerate(graph._adj):
+            for pos, (v, w) in enumerate(row):
+                graph._edge_pos[(u, v)] = pos
+                if u < v:
+                    total += w
+                    if w < min_w:
+                        min_w = w
+        graph._num_edges = csr.num_edges
+        graph._total_weight = total
+        graph._min_weight = min_w
+        graph._snapshot = csr
+        return graph
+
     def freeze(self):
         """Build (or return the cached) immutable CSR snapshot.
 

@@ -19,7 +19,7 @@ and ``priority_of`` are ``O(1)``.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Hashable, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Hashable, Iterator, List, Tuple
 
 __all__ = ["IndexedHeap"]
 

@@ -254,6 +254,49 @@ def server_drain_seconds(registry: Optional[MetricsRegistry] = None) -> Gauge:
     )
 
 
+def fleet_workers(registry: Optional[MetricsRegistry] = None) -> Gauge:
+    return _reg(registry).gauge(
+        "gst_fleet_workers",
+        "Persistent fleet worker processes currently provisioned.",
+    )
+
+
+def fleet_shm_bytes(registry: Optional[MetricsRegistry] = None) -> Gauge:
+    return _reg(registry).gauge(
+        "gst_fleet_shm_bytes",
+        "Bytes of the shared-memory CSR segment exported to the fleet.",
+    )
+
+
+def fleet_attach_seconds(
+    registry: Optional[MetricsRegistry] = None,
+) -> Histogram:
+    return _reg(registry).histogram(
+        "gst_fleet_attach_seconds",
+        "Wall seconds a fleet worker spent attaching and materializing "
+        "the shared snapshot.",
+        buckets=DEFAULT_LATENCY_BUCKETS,
+    )
+
+
+def fleet_queries_total(registry: Optional[MetricsRegistry] = None) -> Counter:
+    return _reg(registry).counter(
+        "gst_fleet_queries_total",
+        "Queries delivered by fleet workers, by worker slot.",
+        ("worker",),
+    )
+
+
+def fleet_respawns_total(
+    registry: Optional[MetricsRegistry] = None,
+) -> Counter:
+    return _reg(registry).counter(
+        "gst_fleet_respawns_total",
+        "Fleet workers respawned after crashes, watchdog kills, or "
+        "hard-deadline kills.",
+    )
+
+
 _ACCESSORS = (
     queries_total,
     query_seconds,
@@ -281,6 +324,11 @@ _ACCESSORS = (
     server_frames,
     server_inflight,
     server_drain_seconds,
+    fleet_workers,
+    fleet_shm_bytes,
+    fleet_attach_seconds,
+    fleet_queries_total,
+    fleet_respawns_total,
 )
 
 

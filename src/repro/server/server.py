@@ -174,9 +174,13 @@ class GSTServer:
         :meth:`drain`.
     executor:
         Bring your own configured :class:`~repro.service.QueryExecutor`
-        (must use thread isolation — progress callbacks cannot cross a
-        process boundary).  The server shuts down only executors it
-        created itself.
+        using thread or fleet isolation.  Thread isolation streams
+        PROGRESS frames (in-process callbacks); fleet isolation
+        (``isolation="fleet", workers=N``) trades mid-search progress
+        streaming for true multi-core throughput — a progress callback
+        cannot cross a process boundary, so fleet-served queries emit
+        only their final RESULT frame.  The server shuts down only
+        executors it created itself.
     executor_kwargs:
         Forwarded to the internally-built executor (``max_workers``,
         ``trace_sink``, ``admission``, ``retry_policy``,
@@ -223,10 +227,12 @@ class GSTServer:
                 **executor_kwargs,
             )
             self._owns_executor = True
-        if self.executor.isolation != "thread":
+        if self.executor.isolation not in ("thread", "fleet"):
             raise ValueError(
-                "GSTServer streams progress via in-process callbacks; "
-                "the executor must use isolation='thread'"
+                "GSTServer requires isolation='thread' (in-process, with "
+                "PROGRESS streaming) or isolation='fleet' (multi-core "
+                "shared-memory workers, final answers only); one-shot "
+                "process isolation is too expensive per connection"
             )
         self.stats = ServerStats()
         self._frames = instruments.server_frames()
@@ -507,11 +513,17 @@ class GSTServer:
     ) -> None:
         loop = asyncio.get_running_loop()
 
-        def on_progress(point) -> None:
+        on_progress = None
+        if self.executor.isolation == "thread":
             # Worker thread → event loop.  FIFO scheduling keeps every
             # PROGRESS ahead of the RESULT (whose completion wakeup is
-            # scheduled after the engine's last report).
-            loop.call_soon_threadsafe(self._send_progress, conn, query_id, point)
+            # scheduled after the engine's last report).  Fleet workers
+            # run in other processes, so fleet-served queries skip
+            # PROGRESS frames and answer with their final RESULT only.
+            def on_progress(point) -> None:
+                loop.call_soon_threadsafe(
+                    self._send_progress, conn, query_id, point
+                )
 
         algorithm = frame.get("algorithm") or self.algorithm
         try:

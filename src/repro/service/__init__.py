@@ -24,7 +24,12 @@ This package is the production-serving layer over the paper's solvers:
   search's full frontier), :class:`ProcessWorkerPool` process-isolated
   execution with a memory watchdog and crash containment
   (``QueryExecutor(..., isolation="process", checkpoint_dir=...)``),
-  and :func:`resume_query` to push an interrupted query to optimality.
+  and :func:`resume_query` to push an interrupted query to optimality;
+* the fleet layer (:mod:`repro.service.fleet`) — :class:`FleetPool`
+  persistent pre-forked workers attached to one shared-memory CSR
+  snapshot (``QueryExecutor(..., isolation="fleet", workers=N)``):
+  process isolation with true multi-core throughput, the graph mapped
+  once instead of unpickled per spawn.
 
 Typical use::
 
@@ -48,6 +53,7 @@ from .durability import (
     resume_query,
     write_checkpoint,
 )
+from .fleet import FleetPool, FleetWorker
 from .index import DEFAULT_MAX_CACHED_LABELS, GraphIndex, QueryOutcome
 from .executor import QueryExecutor
 from .resilience import (
@@ -83,6 +89,8 @@ __all__ = [
     "ResiliencePipeline",
     "RetryPolicy",
     "Checkpointer",
+    "FleetPool",
+    "FleetWorker",
     "ProcessWorkerPool",
     "WorkerPolicy",
     "checkpointed_execute",

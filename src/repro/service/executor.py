@@ -36,13 +36,17 @@ instead runs in a supervised subprocess
 (:class:`~repro.service.durability.ProcessWorkerPool`): hangs, OOM
 kills, and hard crashes are contained to one query, and — when a
 ``checkpoint_dir`` is set — the query resumes from its latest engine
-checkpoint instead of restarting cold.
+checkpoint instead of restarting cold.  ``isolation="fleet"``
+(``workers=N``) swaps the per-query fork for a persistent pre-forked
+:class:`~repro.service.fleet.FleetPool` attached zero-copy to one
+shared-memory CSR snapshot — true multi-core throughput at steady
+state, with the same respawn-and-resume guarantees per worker.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import ThreadPoolExecutor
 from typing import (
     Callable,
     Dict,
@@ -93,15 +97,21 @@ class QueryExecutor:
         isolation: str = "thread",
         checkpoint_dir: Optional[str] = None,
         worker_policy=None,
+        workers: Optional[int] = None,
     ) -> None:
         if max_workers is not None and max_workers <= 0:
             raise ValueError("max_workers must be positive")
-        if isolation not in ("thread", "process"):
+        if isolation not in ("thread", "process", "fleet"):
             raise ValueError(
-                f"isolation must be 'thread' or 'process', got {isolation!r}"
+                "isolation must be 'thread', 'process', or 'fleet', "
+                f"got {isolation!r}"
             )
+        if workers is not None and isolation != "fleet":
+            raise ValueError("workers= only applies to isolation='fleet'")
         self.index = GraphIndex.ensure(index)
-        self.max_workers = max_workers or _default_workers()
+        # A fleet of N processes needs at least N submitting threads in
+        # front of it, or the warm workers can never all be busy.
+        self.max_workers = max_workers or max(_default_workers(), workers or 0)
         self.algorithm = algorithm
         self.budget = budget
         # A sink given as a path is opened here and is therefore ours to
@@ -141,6 +151,15 @@ class QueryExecutor:
 
             self.worker_pool = ProcessWorkerPool(
                 self.index,
+                checkpoint_dir=checkpoint_dir,
+                policy=worker_policy,
+            )
+        elif isolation == "fleet":
+            from .fleet import FleetPool
+
+            self.worker_pool = FleetPool(
+                self.index,
+                workers=workers,
                 checkpoint_dir=checkpoint_dir,
                 policy=worker_policy,
             )

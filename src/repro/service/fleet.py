@@ -1,0 +1,790 @@
+"""Persistent shared-memory worker fleet.
+
+:class:`~repro.service.durability.ProcessWorkerPool` buys crash
+isolation by forking a fresh subprocess *per query* — each spawn pays
+the full cost of unsharing the parent's heap before it pops a single
+state.  The fleet keeps the isolation and drops the per-query cost:
+
+* the frozen :class:`~repro.graph.csr.CSRGraph` is exported **once**
+  into a :mod:`multiprocessing.shared_memory` segment
+  (:mod:`repro.graph.shm`), and
+* N **persistent pre-forked workers** attach that segment at birth
+  (fingerprint-verified), rebuild their private
+  :class:`~repro.service.index.GraphIndex` around the mapped buffers,
+  and then serve query after query over a duplex pipe — attach cost is
+  paid once per worker lifetime, not once per query.
+
+Supervision carries over from the process pool wholesale: per-worker
+RSS watchdog sampled from ``/proc``, a hard wall-clock kill deadline,
+cooperative cancellation (the parent's token becomes ``SIGUSR1``,
+which cancels the worker's *current* query without killing the
+worker), and respawn-and-resume — a worker that dies mid-query is
+replaced by a fresh attach and the query resumes from its latest
+engine checkpoint.  All terminal containment surfaces as a failed
+:class:`~repro.service.index.QueryOutcome` carrying a typed
+:class:`~repro.errors.WorkerCrashedError`, exactly like the one-shot
+pool, so the executor's retry ladder composes unchanged.
+
+Shutdown ordering is load-bearing: ``shutdown(wait=True)`` first
+**drains** — waits for every in-flight query (and therefore every
+in-flight checkpoint write) to deliver — then stops the workers, and
+only then releases the shared segment.  Unlinking first would turn a
+graceful drain into a race against the kernel.  ``wait=False`` is the
+abandon-ship path: workers are killed outright and the segment is
+force-unlinked.
+
+Wire-in: ``QueryExecutor(isolation="fleet", workers=N)`` routes every
+attempt through :meth:`FleetPool.execute`, and ``python -m repro serve
+--workers N`` serves a whole TCP front-end from one fleet.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+from typing import Hashable, Iterable, List, Optional
+
+from ..core.budget import Budget, CancellationToken
+from ..errors import (
+    ReproError,
+    SharedMemoryGraphError,
+    StoreError,
+    WorkerCrashedError,
+)
+from ..graph.csr import CSRGraph
+from ..graph.graph import Graph
+from ..obs import instruments
+from .durability import (
+    WorkerPolicy,
+    _error_outcome,
+    _install_chaos_hook,
+    _rss_mb,
+    checkpointed_execute,
+)
+from .index import GraphIndex, QueryOutcome
+
+__all__ = ["FleetPool", "FleetWorker"]
+
+
+def _default_fleet_workers() -> int:
+    return min(4, os.cpu_count() or 1)
+
+
+# ----------------------------------------------------------------------
+# Worker process body
+# ----------------------------------------------------------------------
+def _fleet_worker_entry(
+    conn,
+    worker_id: int,
+    shm_name: str,
+    expect_fingerprint: str,
+    checkpoint_dir: Optional[str],
+    policy: WorkerPolicy,
+) -> None:
+    """Child body: attach the shared graph once, then serve jobs forever.
+
+    Messages up the pipe: one ``ready`` (or ``attach_failed``) after
+    the attach, then one ``outcome`` per job.  ``SIGUSR1`` cancels the
+    *current* query's token (the worker survives and serves the next
+    job); ``SIGTERM`` cancels it *and* marks the worker draining, so it
+    exits cleanly after delivering.  Every exit path detaches the
+    shared segment, keeping the owner's refcount honest.
+    """
+    draining = threading.Event()
+    current_token: List[Optional[CancellationToken]] = [None]
+
+    def _cancel_current(reason: str) -> None:
+        token = current_token[0]
+        if token is not None:
+            token.cancel(reason)
+
+    signal.signal(
+        signal.SIGUSR1,
+        lambda signum, frame: _cancel_current("cancelled by supervisor"),
+    )
+
+    def _on_sigterm(signum, frame) -> None:
+        draining.set()
+        _cancel_current("terminated by supervisor")
+
+    signal.signal(signal.SIGTERM, _on_sigterm)
+    # The parent's SIGINT handling owns batch interruption; a forwarded
+    # Ctrl-C must not kill a worker mid-checkpoint-write.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+    handle = None
+    try:
+        started = time.perf_counter()
+        try:
+            csr, handle = CSRGraph.from_shared(
+                shm_name, expect_fingerprint=expect_fingerprint
+            )
+            index = GraphIndex(Graph.from_csr(csr))
+        except (SharedMemoryGraphError, StoreError) as exc:
+            conn.send(
+                {
+                    "op": "attach_failed",
+                    "worker": worker_id,
+                    "error_type": type(exc).__name__,
+                    "error": str(exc),
+                }
+            )
+            return
+        conn.send(
+            {
+                "op": "ready",
+                "worker": worker_id,
+                "pid": os.getpid(),
+                "attach_seconds": time.perf_counter() - started,
+            }
+        )
+
+        while not draining.is_set():
+            try:
+                job = conn.recv()
+            except (EOFError, OSError):
+                break
+            if not isinstance(job, dict) or job.get("op") != "query":
+                break  # "stop" or anything unrecognized: exit cleanly
+            token = CancellationToken()
+            current_token[0] = token
+            budget = (job.get("budget") or Budget()).with_cancellation(token)
+            on_write = None
+            if (
+                policy.chaos_kill_after_checkpoints is not None
+                and checkpoint_dir is not None
+            ):
+                on_write = _install_chaos_hook(
+                    checkpoint_dir, policy.chaos_kill_after_checkpoints
+                )
+            labels = job["labels"]
+            algorithm = job["algorithm"]
+            query_id = job.get("query_id")
+            try:
+                if checkpoint_dir is not None:
+                    outcome = checkpointed_execute(
+                        index,
+                        labels,
+                        algorithm=algorithm,
+                        budget=budget,
+                        query_id=query_id,
+                        checkpoint_dir=checkpoint_dir,
+                        policy=policy,
+                        on_write=on_write,
+                        use_result_cache=job.get("use_result_cache", True),
+                        **job.get("solver_kwargs", {}),
+                    )
+                else:
+                    outcome = index.execute(
+                        labels,
+                        algorithm=algorithm,
+                        budget=budget,
+                        query_id=query_id,
+                        use_result_cache=job.get("use_result_cache", True),
+                        **job.get("solver_kwargs", {}),
+                    )
+            except BaseException as exc:  # pragma: no cover - belt+braces
+                outcome = _error_outcome(
+                    labels, algorithm, query_id,
+                    ReproError(f"fleet worker failed: {exc}"),
+                )
+            finally:
+                current_token[0] = None
+            reply = {
+                "op": "outcome",
+                "job_id": job.get("job_id"),
+                "outcome": outcome,
+            }
+            try:
+                conn.send(reply)
+            except (BrokenPipeError, OSError):
+                break
+            except Exception as exc:
+                # Unpicklable payload must not look like a crash.
+                try:
+                    conn.send(
+                        {
+                            "op": "outcome",
+                            "job_id": job.get("job_id"),
+                            "outcome": _error_outcome(
+                                labels, algorithm, query_id,
+                                ReproError(
+                                    "fleet worker could not serialize "
+                                    f"outcome: {exc}"
+                                ),
+                            ),
+                        }
+                    )
+                except Exception:
+                    break
+    finally:
+        if handle is not None:
+            handle.close()
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+
+
+# ----------------------------------------------------------------------
+# Parent-side worker slot
+# ----------------------------------------------------------------------
+class FleetWorker:
+    """Parent-side state of one fleet slot (process + pipe + counters)."""
+
+    __slots__ = (
+        "worker_id",
+        "proc",
+        "conn",
+        "pid",
+        "attach_seconds",
+        "queries",
+        "respawns",
+        "busy",
+    )
+
+    def __init__(self, worker_id: int) -> None:
+        self.worker_id = worker_id
+        self.proc = None
+        self.conn = None
+        self.pid: Optional[int] = None
+        self.attach_seconds: Optional[float] = None
+        self.queries = 0
+        self.respawns = 0
+        self.busy = False
+
+    def alive(self) -> bool:
+        return self.proc is not None and self.proc.is_alive()
+
+    def info(self) -> dict:
+        return {
+            "worker": self.worker_id,
+            "pid": self.pid,
+            "alive": self.alive(),
+            "attach_seconds": self.attach_seconds,
+            "queries": self.queries,
+            "respawns": self.respawns,
+            "busy": self.busy,
+        }
+
+
+class FleetPool:
+    """N persistent workers attached to one shared-memory snapshot.
+
+    Construction exports the index's CSR snapshot into shared memory
+    and pre-forks ``workers`` processes, each of which attaches the
+    segment (fingerprint-verified) and reports ready.  The constructor
+    returns only when every worker is warm — the first query never pays
+    an attach.  :meth:`execute` has the same signature and never-raises
+    contract as :meth:`GraphIndex.execute
+    <repro.service.index.GraphIndex.execute>`, so the executor injects
+    it as the resilience pipeline's ``execute`` callable unchanged.
+    """
+
+    def __init__(
+        self,
+        index,
+        *,
+        workers: Optional[int] = None,
+        checkpoint_dir: Optional[str] = None,
+        policy: Optional[WorkerPolicy] = None,
+        attach_timeout: float = 60.0,
+        shm_name: Optional[str] = None,
+    ) -> None:
+        import multiprocessing
+
+        if workers is not None and workers <= 0:
+            raise ValueError("workers must be positive")
+        self.index = GraphIndex.ensure(index)
+        self.workers = workers or _default_fleet_workers()
+        self.checkpoint_dir = checkpoint_dir
+        if checkpoint_dir is not None:
+            os.makedirs(checkpoint_dir, exist_ok=True)
+        self.policy = policy or WorkerPolicy()
+        self.attach_timeout = attach_timeout
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise RuntimeError(
+                "the worker fleet requires the fork start method (POSIX); "
+                "use isolation='thread' on this platform"
+            )
+        self._ctx = multiprocessing.get_context("fork")
+        # Everything a child might lazily derive is computed pre-fork
+        # (forking a multithreaded parent copies held locks).
+        self._fingerprint = self.index.snapshot.fingerprint
+        self.shared = self.index.snapshot.to_shared(name=shm_name)
+        instruments.fleet_shm_bytes().set(self.shared.size)
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._closed = False
+        self._slots: List[FleetWorker] = []
+        try:
+            for worker_id in range(self.workers):
+                slot = FleetWorker(worker_id)
+                self._spawn(slot)
+                self._slots.append(slot)
+        except Exception:
+            # A half-built fleet must not leak processes or the segment.
+            self._closed = True
+            for slot in self._slots:
+                self._kill_slot(slot)
+            self.shared.unlink()
+            self.shared.close()
+            raise
+        instruments.fleet_workers().set(len(self._slots))
+
+    # ------------------------------------------------------------------
+    # Spawning
+    # ------------------------------------------------------------------
+    def _spawn(self, slot: FleetWorker) -> None:
+        """Fork one worker into ``slot`` and wait for its warm-up.
+
+        Raises :class:`~repro.errors.ShmAttachError` /
+        :class:`~repro.errors.WorkerCrashedError` when the worker
+        cannot come up — at construction that propagates to the caller;
+        mid-serving, :meth:`_respawn` converts it into a failed outcome.
+        """
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=_fleet_worker_entry,
+            args=(
+                child_conn,
+                slot.worker_id,
+                self.shared.name,
+                self._fingerprint,
+                self.checkpoint_dir,
+                self.policy,
+            ),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        slot.proc = proc
+        slot.conn = parent_conn
+        slot.pid = proc.pid
+        deadline = time.monotonic() + self.attach_timeout
+        while True:
+            timeout = min(0.1, max(0.0, deadline - time.monotonic()))
+            try:
+                if parent_conn.poll(timeout):
+                    msg = parent_conn.recv()
+                    break
+            except (EOFError, OSError):
+                msg = None
+                break
+            if not proc.is_alive():
+                msg = None
+                break
+            if time.monotonic() >= deadline:
+                self._kill_slot(slot)
+                raise WorkerCrashedError(
+                    f"fleet worker {slot.worker_id} did not report ready "
+                    f"within {self.attach_timeout:.1f}s",
+                    pid=slot.pid,
+                    reason="attach timeout",
+                )
+        if not isinstance(msg, dict) or msg.get("op") != "ready":
+            self._kill_slot(slot)
+            if isinstance(msg, dict) and msg.get("op") == "attach_failed":
+                raise WorkerCrashedError(
+                    f"fleet worker {slot.worker_id} could not attach the "
+                    f"shared snapshot: [{msg.get('error_type')}] "
+                    f"{msg.get('error')}",
+                    pid=slot.pid,
+                    reason="attach failed",
+                )
+            raise WorkerCrashedError(
+                f"fleet worker {slot.worker_id} died during warm-up "
+                f"(exitcode={proc.exitcode})",
+                pid=slot.pid,
+                exitcode=proc.exitcode,
+                reason="died during warm-up",
+            )
+        slot.attach_seconds = float(msg.get("attach_seconds") or 0.0)
+        instruments.fleet_attach_seconds().observe(slot.attach_seconds)
+
+    def _respawn(self, slot: FleetWorker) -> Optional[WorkerCrashedError]:
+        """Replace a dead worker in place; returns the error on failure."""
+        self._kill_slot(slot)
+        slot.respawns += 1
+        instruments.fleet_respawns_total().inc()
+        try:
+            self._spawn(slot)
+            return None
+        except WorkerCrashedError as exc:
+            return exc
+
+    def _kill_slot(self, slot: FleetWorker) -> None:
+        proc = slot.proc
+        if proc is not None:
+            try:
+                proc.kill()
+            except (OSError, ValueError, AttributeError):
+                pass
+            proc.join(1.0)
+        conn = slot.conn
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+        slot.proc = None
+        slot.conn = None
+
+    # ------------------------------------------------------------------
+    # Query execution
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        labels: Iterable[Hashable],
+        *,
+        algorithm: str = "pruneddp++",
+        budget: Optional[Budget] = None,
+        query_id=None,
+        use_result_cache: bool = True,
+        **solver_kwargs,
+    ) -> QueryOutcome:
+        """Run one query on the next free warm worker (never raises).
+
+        Blocks until a worker frees up (the executor's thread pool is
+        the queue in front of this), then supervises that worker for
+        the duration: watchdog, hard deadline, cancellation, and
+        respawn-and-resume all per the pool's
+        :class:`~repro.service.durability.WorkerPolicy`.
+        """
+        labels = tuple(labels)
+        slot = self._acquire()
+        if slot is None:
+            return _error_outcome(
+                labels, algorithm, query_id,
+                ReproError("fleet is shut down"),
+            )
+        try:
+            return self._execute_on(
+                slot, labels, algorithm, budget, query_id,
+                use_result_cache, solver_kwargs,
+            )
+        finally:
+            self._release(slot)
+
+    def _acquire(self) -> Optional[FleetWorker]:
+        with self._cond:
+            while True:
+                if self._closed:
+                    return None
+                for slot in self._slots:
+                    if not slot.busy:
+                        slot.busy = True
+                        return slot
+                self._cond.wait()
+
+    def _release(self, slot: FleetWorker) -> None:
+        with self._cond:
+            slot.busy = False
+            self._cond.notify_all()
+
+    def _execute_on(
+        self, slot, labels, algorithm, budget, query_id,
+        use_result_cache, solver_kwargs,
+    ) -> QueryOutcome:
+        policy = self.policy
+        # The parent's token cannot cross the process boundary (it is a
+        # threading.Event); it is stripped for the wire and translated
+        # into SIGUSR1 by the supervision loop below.
+        wire_budget = budget
+        if budget is not None and budget.cancel_token is not None:
+            wire_budget = budget.replace(cancel_token=None)
+        job = {
+            "op": "query",
+            "job_id": query_id,
+            "labels": labels,
+            "algorithm": algorithm,
+            "budget": wire_budget,
+            "query_id": query_id,
+            "use_result_cache": use_result_cache,
+            "solver_kwargs": solver_kwargs,
+        }
+        restarts = 0
+        while True:
+            sent = self._send_job(slot, job)
+            if not sent:
+                restarts += 1
+                if restarts > policy.max_restarts:
+                    return self._crashed_outcome(
+                        slot, labels, algorithm, query_id, restarts,
+                        reason="crashed", watchdog_kills=0,
+                    )
+                error = self._respawn(slot)
+                if error is not None:
+                    return self._attach_lost_outcome(
+                        labels, algorithm, query_id, restarts, error
+                    )
+                continue
+            attempt = self._supervise(slot, budget)
+            if attempt.kind == "delivered":
+                outcome = attempt.outcome
+                outcome.trace.worker_restarts += restarts
+                outcome.trace.fleet_worker = slot.worker_id
+                slot.queries += 1
+                instruments.fleet_queries_total().labels(
+                    worker=str(slot.worker_id)
+                ).inc()
+                return outcome
+            if attempt.kind == "watchdog":
+                # Checkpoint-then-kill already happened; the slot is
+                # respawned for future queries, but this query is NOT
+                # internally retried — rerunning the same configuration
+                # would exceed the budget again.  Surfacing retryable
+                # lets the executor's ladder resume it degraded.
+                self._respawn(slot)
+                return self._crashed_outcome(
+                    slot, labels, algorithm, query_id, restarts,
+                    reason="memory watchdog", watchdog_kills=1,
+                )
+            if attempt.kind == "timeout":
+                self._respawn(slot)
+                return self._crashed_outcome(
+                    slot, labels, algorithm, query_id, restarts,
+                    reason="hard kill deadline", watchdog_kills=0,
+                )
+            # Plain crash: respawn (re-attach) and resend — the worker's
+            # checkpointed_execute resumes from the latest checkpoint.
+            restarts += 1
+            if self._closed or restarts > policy.max_restarts:
+                return self._crashed_outcome(
+                    slot, labels, algorithm, query_id, restarts,
+                    reason="crashed", watchdog_kills=0,
+                    exitcode=attempt.exitcode,
+                )
+            error = self._respawn(slot)
+            if error is not None:
+                return self._attach_lost_outcome(
+                    labels, algorithm, query_id, restarts, error
+                )
+
+    def _send_job(self, slot: FleetWorker, job: dict) -> bool:
+        if slot.conn is None or not slot.alive():
+            return False
+        try:
+            slot.conn.send(job)
+            return True
+        except (BrokenPipeError, OSError):
+            return False
+
+    class _Attempt:
+        __slots__ = ("kind", "outcome", "exitcode")
+
+        def __init__(self, kind, outcome=None, exitcode=None) -> None:
+            self.kind = kind  # delivered | crashed | watchdog | timeout
+            self.outcome = outcome
+            self.exitcode = exitcode
+
+    def _supervise(self, slot: FleetWorker, budget) -> "_Attempt":
+        """Wait for one outcome, enforcing the policy on the worker."""
+        policy = self.policy
+        proc, conn = slot.proc, slot.conn
+        hard_deadline = (
+            time.monotonic() + policy.hard_timeout_seconds
+            if policy.hard_timeout_seconds is not None
+            else None
+        )
+        term_deadline: Optional[float] = None
+        watchdog = False
+        cancelled = False
+        while True:
+            try:
+                has_data = conn.poll(policy.poll_interval)
+            except (OSError, EOFError):
+                has_data = False
+            if has_data:
+                msg = self._receive(conn)
+                if isinstance(msg, dict) and msg.get("op") == "outcome":
+                    if watchdog:
+                        # The checkpoint-on-cancel answer is on disk; the
+                        # delivery is superseded by the watchdog verdict.
+                        return self._Attempt("watchdog")
+                    return self._Attempt("delivered", outcome=msg["outcome"])
+                if msg is None and not proc.is_alive():
+                    proc.join(1.0)
+                    if watchdog:
+                        return self._Attempt(
+                            "watchdog", exitcode=proc.exitcode
+                        )
+                    return self._Attempt("crashed", exitcode=proc.exitcode)
+                continue  # stray frame (late ready); keep waiting
+            if not proc.is_alive():
+                # Dead without a poll hit: drain a final message that
+                # raced the exit, then classify.
+                msg = None
+                try:
+                    if conn.poll(0):
+                        msg = self._receive(conn)
+                except (OSError, EOFError):
+                    msg = None
+                proc.join(1.0)
+                if watchdog:
+                    return self._Attempt("watchdog", exitcode=proc.exitcode)
+                if isinstance(msg, dict) and msg.get("op") == "outcome":
+                    return self._Attempt("delivered", outcome=msg["outcome"])
+                return self._Attempt("crashed", exitcode=proc.exitcode)
+            now = time.monotonic()
+            if not cancelled and (
+                budget is not None and budget.cancelled()
+            ):
+                # Parent-side token → SIGUSR1: the worker cancels its
+                # current query's token, delivers the anytime answer,
+                # and stays alive for the next job.
+                cancelled = True
+                self._signal(proc, signal.SIGUSR1)
+            if not watchdog and policy.max_rss_mb is not None:
+                rss = _rss_mb(proc.pid)
+                if rss is not None and rss > policy.max_rss_mb:
+                    # Checkpoint-then-kill: SIGTERM cancels the current
+                    # token AND drains the worker; the grace deadline
+                    # reaps whatever is left.
+                    watchdog = True
+                    self._signal(proc, signal.SIGTERM)
+                    term_deadline = now + policy.kill_grace_seconds
+            if term_deadline is not None and now >= term_deadline:
+                self._kill(proc)
+                proc.join(1.0)
+                if watchdog:
+                    return self._Attempt("watchdog", exitcode=proc.exitcode)
+                return self._Attempt("crashed", exitcode=proc.exitcode)
+            if hard_deadline is not None and now >= hard_deadline:
+                self._kill(proc)
+                proc.join(1.0)
+                return self._Attempt("timeout", exitcode=proc.exitcode)
+
+    @staticmethod
+    def _receive(conn):
+        try:
+            return conn.recv()
+        except (EOFError, OSError):
+            return None
+        except Exception:  # unpickling failure: treat as undelivered
+            return None
+
+    @staticmethod
+    def _signal(proc, signum) -> None:
+        try:
+            os.kill(proc.pid, signum)
+        except (OSError, TypeError):  # pragma: no cover - defensive
+            pass
+
+    @staticmethod
+    def _kill(proc) -> None:
+        try:
+            proc.kill()
+        except (OSError, ValueError, AttributeError):  # pragma: no cover
+            pass
+
+    # ------------------------------------------------------------------
+    # Failure shaping
+    # ------------------------------------------------------------------
+    def _crashed_outcome(
+        self, slot, labels, algorithm, query_id, restarts,
+        *, reason: str, watchdog_kills: int, exitcode=None,
+    ) -> QueryOutcome:
+        error = WorkerCrashedError(
+            f"fleet worker {slot.worker_id} solving query {query_id!r} "
+            f"died ({reason}, exitcode={exitcode}) after {restarts} "
+            "restart(s)",
+            pid=slot.pid,
+            exitcode=exitcode,
+            reason=reason,
+        )
+        outcome = _error_outcome(labels, algorithm, query_id, error)
+        outcome.trace.worker_restarts = restarts
+        outcome.trace.watchdog_kills = watchdog_kills
+        outcome.trace.fleet_worker = slot.worker_id
+        return outcome
+
+    def _attach_lost_outcome(
+        self, labels, algorithm, query_id, restarts, error
+    ) -> QueryOutcome:
+        """A respawned worker could not re-attach the shared snapshot.
+
+        This is the owner-died / segment-unlinked case: the typed
+        attach failure (never a ``BufferError``) is preserved inside
+        the :class:`~repro.errors.WorkerCrashedError` message so
+        operators can tell "the graph is gone" from "the query crashed".
+        """
+        outcome = _error_outcome(labels, algorithm, query_id, error)
+        outcome.trace.worker_restarts = restarts
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """JSON-safe fleet summary (per-worker counters + shm info)."""
+        with self._lock:
+            return {
+                "workers": len(self._slots),
+                "closed": self._closed,
+                "shm": self.shared.info() if not self.shared.closed else None,
+                "per_worker": [slot.info() for slot in self._slots],
+            }
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the fleet; release shared memory **last**.
+
+        ``wait=True`` drains: in-flight queries (and their in-flight
+        checkpoint writes) deliver before any worker is stopped, and
+        the shared segment is released only after every worker has
+        exited — a graceful shutdown can never yank the mapping out
+        from under a live search.  ``wait=False`` kills workers
+        outright and force-unlinks.  Idempotent.
+        """
+        with self._cond:
+            if self._closed:
+                already = True
+            else:
+                already = False
+                self._closed = True
+            self._cond.notify_all()
+        if already:
+            return
+        if wait:
+            # Drain: every busy slot must deliver (and _release) before
+            # the workers are told to stop.  In-flight queries are
+            # cancelled cooperatively (SIGUSR1) so the drain is bounded:
+            # each engine checkpoints and returns its anytime answer
+            # within a bounded number of pops.
+            with self._cond:
+                for slot in self._slots:
+                    if slot.busy and slot.proc is not None:
+                        self._signal(slot.proc, signal.SIGUSR1)
+            with self._cond:
+                while any(slot.busy for slot in self._slots):
+                    self._cond.wait()
+            for slot in self._slots:
+                if slot.conn is not None and slot.alive():
+                    try:
+                        slot.conn.send({"op": "stop"})
+                    except (BrokenPipeError, OSError):
+                        pass
+            deadline = time.monotonic() + self.policy.kill_grace_seconds
+            for slot in self._slots:
+                if slot.proc is not None:
+                    slot.proc.join(max(0.0, deadline - time.monotonic()))
+        for slot in self._slots:
+            self._kill_slot(slot)
+        instruments.fleet_workers().set(0)
+        instruments.fleet_shm_bytes().set(0)
+        # Workers have all exited (or been killed): force the unlink so
+        # a kill -9'd worker's never-decremented refcount cannot leak
+        # the segment, then drop the owner mapping.
+        self.shared.unlink()
+        self.shared.close()
+
+    def __enter__(self) -> "FleetPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

@@ -36,7 +36,7 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Hashable, Optional, Sequence, Tuple
 
 from ..core.budget import Budget

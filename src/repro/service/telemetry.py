@@ -110,6 +110,9 @@ class QueryTrace:
     resumed_from: Optional[str] = None
     worker_restarts: int = 0
     watchdog_kills: int = 0
+    # Fleet field (see repro.service.fleet): which persistent worker
+    # slot served this query (None outside fleet isolation).
+    fleet_worker: Optional[int] = None
 
     @property
     def ok(self) -> bool:
@@ -162,6 +165,7 @@ class QueryTrace:
             "resumed_from": self.resumed_from,
             "worker_restarts": self.worker_restarts,
             "watchdog_kills": self.watchdog_kills,
+            "fleet_worker": self.fleet_worker,
         }
 
     def to_json(self) -> str:

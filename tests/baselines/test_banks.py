@@ -80,7 +80,6 @@ class TestApproximationQuality:
     def test_banks2_explores_most_of_graph(self):
         """The paper's explanation for BANKS-II's cost: it settles ~k·n
         node/group pairs, unlike PrunedDP++'s partial exploration."""
-        from repro.core import PrunedDPPlusPlusSolver
 
         g = generators.dblp_like(
             num_papers=200, num_authors=120,

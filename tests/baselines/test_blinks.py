@@ -7,7 +7,7 @@ import pytest
 from repro import InfeasibleQueryError
 from repro.baselines import DistanceNetworkSolver
 from repro.baselines.blinks import BlinksSolver
-from repro.core import DPBFSolver, brute_force_gst
+from repro.core import brute_force_gst
 from repro.core.context import QueryContext
 from repro.core.query import GSTQuery
 from repro.graph import generators

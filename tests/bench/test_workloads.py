@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bench import datasets
 from repro.bench.workloads import QuerySet, generate_queries, make_workload
 
 

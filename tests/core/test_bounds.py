@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import Graph, GSTQuery
+from repro import GSTQuery
 from repro.core.allpaths import RouteTables
 from repro.core.bounds import LowerBounds
 from repro.core.bruteforce import brute_force_gst

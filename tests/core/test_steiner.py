@@ -5,7 +5,7 @@ from __future__ import annotations
 import networkx as nx
 import pytest
 
-from repro import Graph, QueryError
+from repro import QueryError
 from repro.core import steiner_tree, steiner_tree_weight
 from repro.graph import generators
 

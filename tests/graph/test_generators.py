@@ -122,7 +122,6 @@ class TestRoadGrid:
     def test_large_diameter_vs_powerlaw(self):
         """The road topology has a far larger diameter — the structural
         contrast driving paper Figs 14 vs 15."""
-        from repro.graph.shortest_paths import dijkstra
 
         road = generators.road_grid(12, 12, seed=0)
         power = generators.powerlaw(144, edges_per_node=3, seed=0)

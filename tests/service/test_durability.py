@@ -27,7 +27,6 @@ import pytest
 from repro.core.budget import Budget, CancellationToken
 from repro.errors import (
     StoreCorruptError,
-    StoreError,
     StoreFingerprintError,
     StoreVersionError,
     WorkerCrashedError,
@@ -38,7 +37,6 @@ from repro.service import (
     GraphIndex,
     ProcessWorkerPool,
     QueryExecutor,
-    RetryPolicy,
     WorkerPolicy,
     checkpointed_execute,
     read_checkpoint,

@@ -15,7 +15,7 @@ import time
 import pytest
 
 import repro.core.solver as solver_mod
-from repro.core import BasicSolver, PrunedDPPlusPlusSolver
+from repro.core import BasicSolver
 from repro.core.budget import Budget, CancellationToken
 from repro.errors import (
     CircuitOpenError,

@@ -16,7 +16,7 @@ import os
 
 import pytest
 
-from repro import GraphIndex, QueryExecutor, solve_gst
+from repro import GraphIndex, QueryExecutor
 from repro.errors import (
     StoreCorruptError,
     StoreError,

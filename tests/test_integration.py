@@ -13,7 +13,6 @@ import json
 import pytest
 
 from repro import (
-    Graph,
     PrunedDPPlusPlusSolver,
     SteinerTree,
     solve_gst,
